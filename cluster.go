@@ -1,0 +1,43 @@
+package ugpu
+
+import (
+	"ugpu/internal/cluster"
+	"ugpu/internal/workload"
+)
+
+// Cluster simulates a multi-GPU cloud cluster (the Section 6.6 extension):
+// tenants are placed onto identical GPUs and each GPU runs its own
+// partitioning policy.
+type Cluster = cluster.Cluster
+
+// ClusterReport aggregates a cluster run.
+type ClusterReport = cluster.Report
+
+// Placement selects how tenants pack onto GPUs.
+type Placement = cluster.Placement
+
+// Placement policies.
+const (
+	// PlaceInOrder fills GPUs in tenant arrival order.
+	PlaceInOrder = cluster.PlaceInOrder
+	// PlaceClassAware pairs memory-bound tenants with compute-bound ones.
+	PlaceClassAware = cluster.PlaceClassAware
+)
+
+// NewCluster builds a cluster of n GPUs hosting perGPU tenants each.
+func NewCluster(cfg Config, n, perGPU int) (*Cluster, error) {
+	return cluster.New(cfg, n, perGPU)
+}
+
+// JobsOf resolves benchmark abbreviations into a tenant job list.
+func JobsOf(abbrs ...string) ([]Benchmark, error) {
+	out := make([]Benchmark, len(abbrs))
+	for i, a := range abbrs {
+		b, err := workload.ByAbbr(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+// Command experiments regenerates the tables and figures of the UGPU
+// paper's evaluation on the simulated GPU.
+//
+// Usage:
+//
+//	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize]
+//	            [-cycles N] [-epoch N] [-mixes N] [-scale N] [-v]
+//
+// Results reproduce the paper's shapes, not absolute numbers; see
+// EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ugpu/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate (comma-separated ids or 'all')")
+		cycles  = flag.Int("cycles", 0, "simulated cycles per run (default: experiment suite default)")
+		epoch   = flag.Int("epoch", 0, "epoch length in cycles")
+		mixes   = flag.Int("mixes", 0, "mixes per sweep")
+		scale   = flag.Int("scale", 0, "footprint divisor")
+		verbose = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *cycles > 0 {
+		opt.Cfg.MaxCycles = *cycles
+	}
+	if *epoch > 0 {
+		opt.Cfg.EpochCycles = *epoch
+	}
+	if *mixes > 0 {
+		opt.Mixes = *mixes
+	}
+	if *scale > 0 {
+		opt.FootprintScale = *scale
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	type gen struct {
+		id  string
+		run func() (experiments.Figure, error)
+	}
+	gens := []gen{
+		{"table2", opt.Table2Profiles},
+		{"2", opt.Figure2},
+		{"3", opt.Figure3},
+		{"4", opt.Figure4},
+		{"10", opt.Figure10},
+		{"11", opt.Figure11},
+		{"12a", opt.Figure12a},
+		{"12b", opt.Figure12b},
+		{"13", opt.Figure13},
+		{"14", opt.Figure14},
+		{"15", opt.Figure15},
+		{"16", opt.Figure16},
+		{"micro", opt.MigrationMicro},
+		{"pagesize", opt.PageSizeSensitivity},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	ran := 0
+	for _, g := range gens {
+		if !want["all"] && !want[g.id] {
+			continue
+		}
+		start := time.Now()
+		f, err := g.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", g.id, err)
+			os.Exit(1)
+		}
+		f.Format(os.Stdout)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", g.id, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure id %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,67 @@
+// Command mixgen lists the multi-program workload mixes of the UGPU
+// evaluation (Section 5): the 105 two-program mixes (50 heterogeneous + 55
+// homogeneous), the 4-/8-program mixes, and the AI mixes.
+//
+// Usage:
+//
+//	mixgen [-kind hetero|homo|all|4|8|ai] [-n N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ugpu"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "all", "mix family: hetero, homo, all, 4, 8, ai")
+		n    = flag.Int("n", 0, "limit (0 = family default)")
+		seed = flag.Int64("seed", 11, "seed for randomized families (4/8)")
+	)
+	flag.Parse()
+
+	var mixes []ugpu.Mix
+	switch *kind {
+	case "hetero":
+		mixes = ugpu.HeterogeneousMixes(*n)
+	case "homo":
+		mixes = ugpu.HomogeneousMixes(*n)
+	case "all":
+		mixes = ugpu.AllMixes()
+		if *n > 0 && *n < len(mixes) {
+			mixes = mixes[:*n]
+		}
+	case "4":
+		c := *n
+		if c <= 0 {
+			c = 20
+		}
+		mixes = ugpu.FourProgramMixes(c, *seed)
+	case "8":
+		c := *n
+		if c <= 0 {
+			c = 200
+		}
+		mixes = ugpu.EightProgramMixes(c, *seed)
+	case "ai":
+		mixes = ugpu.AIMixes()
+		if *n > 0 && *n < len(mixes) {
+			mixes = mixes[:*n]
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mixgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	for _, m := range mixes {
+		tag := "homogeneous"
+		if m.Hetero {
+			tag = "heterogeneous"
+		}
+		fmt.Printf("%-40s %-14s %d apps\n", m.Name, tag, len(m.Apps))
+	}
+	fmt.Fprintf(os.Stderr, "%d mixes\n", len(mixes))
+}

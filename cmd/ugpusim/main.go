@@ -1,0 +1,112 @@
+// Command ugpusim runs one multi-program workload mix on the simulated GPU
+// under a chosen partitioning policy and reports per-application IPC,
+// STP/ANTT, reallocation activity, and the energy breakdown.
+//
+// Usage:
+//
+//	ugpusim -apps PVC,DXTC -policy ugpu [-cycles 1000000] [-epoch 100000]
+//	        [-scale 16] [-seed 1] [-check]
+//
+// Policies: ugpu, ugpu-ori, ugpu-soft, bp, bp-bs, bp-sb, mps, cd-search.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ugpu"
+)
+
+func main() {
+	var (
+		apps   = flag.String("apps", "PVC,DXTC", "comma-separated benchmark abbreviations")
+		policy = flag.String("policy", "ugpu", "partitioning policy")
+		cycles = flag.Int("cycles", 0, "simulated GPU cycles (default from config)")
+		epochC = flag.Int("epoch", 0, "epoch length in cycles")
+		scale  = flag.Int("scale", 16, "footprint divisor (DESIGN.md scaling)")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		check  = flag.Bool("check", false, "verify page content tags on sampled reads")
+		chans  = flag.Bool("chanstats", false, "print per-channel DRAM utilization after the run")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Table 2 benchmarks:")
+		for _, b := range ugpu.Benchmarks() {
+			fmt.Printf("  %-9s %-26s %-14v MPKI=%-6.2f footprint=%dMB\n",
+				b.Abbr, b.Name, b.Class, b.TableMPKI, b.FootprintMB)
+		}
+		fmt.Println("AI workloads:")
+		for _, b := range ugpu.AIBenchmarks() {
+			fmt.Printf("  %-9s %-26s kernels=%d footprint=%dMB\n", b.Abbr, b.Name, len(b.Kernels), b.FootprintMB)
+		}
+		return
+	}
+
+	cfg := ugpu.DefaultConfig()
+	if *cycles > 0 {
+		cfg.MaxCycles = *cycles
+	}
+	if *epochC > 0 {
+		cfg.EpochCycles = *epochC
+	}
+	cfg.Seed = *seed
+
+	mix, err := ugpu.MixOf(strings.Split(*apps, ",")...)
+	fail(err)
+	pol, err := ugpu.PolicyByName(*policy, cfg)
+	fail(err)
+	pol = ugpu.WithOptions(pol, func(o *ugpu.Options) {
+		o.FootprintScale = *scale
+		o.CheckReads = *check
+	})
+
+	fmt.Printf("mix %s under %s for %d cycles (epoch %d)\n", mix.Name, pol.Name(), cfg.MaxCycles, cfg.EpochCycles)
+	sim, err := ugpu.NewSimulation(cfg, pol, mix)
+	fail(err)
+	res, err := sim.Run()
+	fail(err)
+
+	alone := ugpu.NewAloneIPC(cfg, pol.Options())
+	ref, err := alone.Table(mix)
+	fail(err)
+	stp, antt := ugpu.Score(res, ref)
+
+	fmt.Printf("\nper-application results:\n")
+	for i, a := range res.Apps {
+		fmt.Printf("  %-9s IPC=%8.2f  alone=%8.2f  NP=%.3f\n", a.Abbr, a.IPC, ref[i], ugpu.NP(a.IPC, ref[i]))
+	}
+	fmt.Printf("\nSTP  = %.3f (higher is better, max %d)\n", stp, len(res.Apps))
+	fmt.Printf("ANTT = %.3f (lower is better, min 1)\n", antt)
+	fmt.Printf("\nreallocations=%d  page migrations=%d (fault-driven %d)\n",
+		res.Reallocations, res.PageMigrations, res.FaultMigrations)
+	fmt.Printf("reallocation overhead: mean %.1f%% of epoch, worst %.1f%%\n",
+		100*res.MigFracMean, 100*res.MigFracWorst)
+
+	e := ugpu.DefaultEnergy().Energy(cfg, res)
+	fmt.Printf("energy: core %.0f, HBM %.0f (%.1f%%), migration share %.0f\n",
+		e.Core, e.HBM, 100*e.MemFraction(), e.Migration)
+
+	if *chans {
+		fmt.Printf("\nper-channel DRAM utilization (data-bus busy fraction):\n")
+		hbm := sim.G.HBM()
+		for st := 0; st < cfg.NumStacks; st++ {
+			fmt.Printf("  stack %d:", st)
+			for c := 0; c < cfg.ChannelsPerStack; c++ {
+				s := hbm.ChannelStatsSnapshot(st*cfg.ChannelsPerStack + c)
+				fmt.Printf(" %5.1f%%", 100*float64(s.BusyCycles)/float64(res.Cycles))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ugpusim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: co-run a memory-bound and a compute-bound application on one
+// simulated GPU, first under the balanced partition (BP, the MIG-like
+// baseline) and then under UGPU's demand-aware unbalanced slices, and
+// compare system throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ugpu"
+)
+
+func main() {
+	cfg := ugpu.DefaultConfig()
+	cfg.MaxCycles = 300_000 // keep the demo quick; default is 1M
+	cfg.EpochCycles = 50_000
+
+	// PVC streams gigabytes (memory-bound); DXTC barely touches memory
+	// (compute-bound) — Table 2 of the paper.
+	mix, err := ugpu.MixOf("PVC", "DXTC")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solo references for STP/ANTT (Equations 3-4).
+	alone := ugpu.NewAloneIPC(cfg, ugpu.DefaultOptions())
+	ref, err := alone.Table(mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, pol := range []ugpu.Policy{ugpu.NewBP(), ugpu.NewUGPU(cfg)} {
+		res, err := ugpu.Run(cfg, pol, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stp, antt := ugpu.Score(res, ref)
+		fmt.Printf("%-6s STP=%.3f ANTT=%.3f", pol.Name(), stp, antt)
+		for i, a := range res.Apps {
+			fmt.Printf("  %s IPC=%.1f (solo %.1f)", a.Abbr, a.IPC, ref[i])
+		}
+		fmt.Printf("  [%d reallocations, %d pages migrated]\n", res.Reallocations, res.PageMigrations)
+		if pol.Name() == "UGPU" {
+			fmt.Printf("       final partition:")
+			for i, t := range res.Final {
+				fmt.Printf("  %s=%dSM/%dgroups", res.Apps[i].Abbr, t.SMs, t.Groups)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ugpu
+
+go 1.22

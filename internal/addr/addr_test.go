@@ -1,0 +1,199 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ugpu/internal/config"
+)
+
+func TestCustomDecodeKnownBits(t *testing.T) {
+	m := NewCustomMapper(config.Default())
+	// Figure 8: bits [7:8] stack, [9:10] bank group, [12:14] channel.
+	cases := []struct {
+		pa   uint64
+		want Location
+	}{
+		{0, Location{}},
+		{1 << 7, Location{Stack: 1}},
+		{3 << 7, Location{Stack: 3}},
+		{1 << 9, Location{BankGroup: 1}},
+		{3 << 9, Location{BankGroup: 3}},
+		{1 << 11, Location{Col: 1}},
+		{1 << 12, Location{Channel: 1}},
+		{7 << 12, Location{Channel: 7}},
+		{1 << 15, Location{Bank: 1}},
+		{3 << 15, Location{Bank: 3}},
+		{1 << 17, Location{Col: 2}},
+		{1 << 20, Location{Row: 1}},
+	}
+	for _, c := range cases {
+		if got := m.Decode(c.pa); got != c.want {
+			t.Errorf("Decode(%#x) = %+v, want %+v", c.pa, got, c.want)
+		}
+	}
+}
+
+func TestCustomEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := config.Default()
+	m := NewCustomMapper(cfg)
+	f := func(raw uint64) bool {
+		// Constrain to line-aligned addresses within the modelled device.
+		pa := (raw << 7) & (1<<34 - 1) &^ 127
+		loc := m.Decode(pa)
+		return m.Encode(loc) == pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomFrameRoundTrip(t *testing.T) {
+	cfg := config.Default()
+	m := NewCustomMapper(cfg)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		group := rng.Intn(cfg.ChannelGroups())
+		frame := uint64(rng.Int63n(int64(m.FramesPerGroup())))
+		base := m.FrameBase(group, frame)
+		if base%uint64(cfg.PageBytes) != 0 {
+			t.Fatalf("FrameBase(%d, %d) = %#x is not page-aligned", group, frame, base)
+		}
+		g, f := m.FrameOf(base)
+		if g != group || f != frame {
+			t.Fatalf("FrameOf(FrameBase(%d, %d)) = (%d, %d)", group, frame, g, f)
+		}
+	}
+}
+
+func TestCustomPageConfinedToGroup(t *testing.T) {
+	cfg := config.Default()
+	m := NewCustomMapper(cfg)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		group := rng.Intn(cfg.ChannelGroups())
+		frame := uint64(rng.Int63n(int64(m.FramesPerGroup())))
+		base := m.FrameBase(group, frame)
+		for off := uint64(0); off < uint64(cfg.PageBytes); off += uint64(cfg.L1LineBytes) {
+			pa := base + off
+			if got := m.ChannelGroup(pa); got != group {
+				t.Fatalf("line %#x of frame (%d,%d) maps to group %d", pa, group, frame, got)
+			}
+			if loc := m.Decode(pa); loc.Channel != group {
+				t.Fatalf("line %#x of group %d decodes to channel %d", pa, group, loc.Channel)
+			}
+		}
+	}
+}
+
+func TestCustomPageLinesStructure(t *testing.T) {
+	cfg := config.Default()
+	m := NewCustomMapper(cfg)
+	lines := m.PageLines(m.FrameBase(5, 1234))
+	if len(lines) != 32 {
+		t.Fatalf("page has %d lines, want 32", len(lines))
+	}
+	// Section 4.3: a page spreads over 4 stacks x 4 bank groups, two columns
+	// of one row of one bank in each — so 16 (stack, BG) units hold 2 lines.
+	type unit struct{ stack, bg int }
+	count := map[unit]int{}
+	rows := map[int]bool{}
+	banks := map[int]bool{}
+	for _, l := range lines {
+		count[unit{l.Stack, l.BankGroup}]++
+		rows[l.Row] = true
+		banks[l.Bank] = true
+	}
+	if len(count) != 16 {
+		t.Errorf("page touches %d (stack, bank-group) units, want 16", len(count))
+	}
+	for u, n := range count {
+		if n != 2 {
+			t.Errorf("unit %+v holds %d lines, want 2", u, n)
+		}
+	}
+	if len(rows) != 1 || len(banks) != 1 {
+		t.Errorf("page spans %d rows and %d banks, want 1 and 1", len(rows), len(banks))
+	}
+}
+
+func TestCustomFramesDistinct(t *testing.T) {
+	cfg := config.Default()
+	m := NewCustomMapper(cfg)
+	seen := map[uint64]bool{}
+	for group := 0; group < cfg.ChannelGroups(); group++ {
+		for frame := uint64(0); frame < 64; frame++ {
+			base := m.FrameBase(group, frame)
+			if seen[base] {
+				t.Fatalf("frame (%d,%d) collides at %#x", group, frame, base)
+			}
+			seen[base] = true
+		}
+	}
+}
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	cfg := config.Default()
+	m := NewInterleavedMapper(cfg)
+	f := func(raw uint64) bool {
+		pa := (raw << 7) & (1<<34 - 1) &^ 127
+		return m.Encode(m.Decode(pa)) == pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedSpreadsLinesOverAllChannels(t *testing.T) {
+	cfg := config.Default()
+	m := NewInterleavedMapper(cfg)
+	channels := map[int]bool{}
+	for off := uint64(0); off < uint64(cfg.PageBytes); off += uint64(cfg.L1LineBytes) {
+		channels[m.GlobalChannel(off)] = true
+	}
+	if len(channels) != cfg.NumChannels() {
+		t.Errorf("page lines touch %d channels, want %d", len(channels), cfg.NumChannels())
+	}
+	if m.Isolating() {
+		t.Error("interleaved mapping must not claim isolation")
+	}
+}
+
+func TestIsolationFlags(t *testing.T) {
+	cfg := config.Default()
+	if !NewCustomMapper(cfg).Isolating() {
+		t.Error("custom mapping must be isolating")
+	}
+}
+
+func TestGlobalChannelConsistency(t *testing.T) {
+	cfg := config.Default()
+	for _, m := range []Mapper{NewCustomMapper(cfg), NewInterleavedMapper(cfg)} {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 1000; i++ {
+			pa := uint64(rng.Int63()) & (1<<34 - 1) &^ 127
+			loc := m.Decode(pa)
+			if got, want := m.GlobalChannel(pa), loc.GlobalChannel(cfg.ChannelsPerStack); got != want {
+				t.Fatalf("GlobalChannel(%#x) = %d, Decode gives %d", pa, got, want)
+			}
+		}
+	}
+}
+
+func TestPageSizeVariants(t *testing.T) {
+	for _, page := range []int{4096, 8192, 16384} {
+		cfg := config.Default()
+		cfg.PageBytes = page
+		m := NewCustomMapper(cfg)
+		lines := m.PageLines(m.FrameBase(2, 9))
+		if want := page / cfg.L1LineBytes; len(lines) != want {
+			t.Errorf("page size %d: %d lines, want %d", page, len(lines), want)
+		}
+		for _, l := range lines {
+			if l.Channel != 2 {
+				t.Errorf("page size %d: line on channel %d, want 2", page, l.Channel)
+			}
+		}
+	}
+}

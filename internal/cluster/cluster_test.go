@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+
+	"ugpu/internal/config"
+	"ugpu/internal/core"
+	"ugpu/internal/gpu"
+	"ugpu/internal/metrics"
+	"ugpu/internal/workload"
+)
+
+func testCfg() config.Config {
+	cfg := config.Default()
+	cfg.MaxCycles = 40_000
+	cfg.EpochCycles = 20_000
+	return cfg
+}
+
+func jobs(t *testing.T, abbrs ...string) []workload.Benchmark {
+	t.Helper()
+	out := make([]workload.Benchmark, len(abbrs))
+	for i, a := range abbrs {
+		b, err := workload.ByAbbr(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testCfg()
+	if _, err := New(cfg, 0, 2); err == nil {
+		t.Error("accepted zero GPUs")
+	}
+	if _, err := New(cfg, 2, 0); err == nil {
+		t.Error("accepted zero tenants per GPU")
+	}
+	if _, err := New(cfg, 2, 9); err == nil {
+		t.Error("accepted more tenants than channel groups")
+	}
+}
+
+func TestPlacementCapacity(t *testing.T) {
+	c, _ := New(testCfg(), 2, 2)
+	if c.Capacity() != 4 {
+		t.Errorf("capacity = %d", c.Capacity())
+	}
+	if _, err := c.Place(jobs(t, "PVC", "LBM", "DXTC", "CP", "BH"), PlaceInOrder); err == nil {
+		t.Error("overfull placement accepted")
+	}
+}
+
+func TestClassAwarePlacementSpreadsClasses(t *testing.T) {
+	c, _ := New(testCfg(), 2, 2)
+	// Arrival order puts both memory-bound jobs first: in-order placement
+	// spreads them; feed an order that would pack same-class per GPU.
+	js := jobs(t, "PVC", "DXTC", "LBM", "CP")
+	inOrder, err := c.Place(js, PlaceInOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-order round-robin: GPU0 = PVC, LBM (both memory-bound).
+	if inOrder[0][0].Class != inOrder[0][1].Class {
+		t.Skip("arrival order changed; placement premise broken")
+	}
+	aware, err := c.Place(js, PlaceClassAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, tenants := range aware {
+		if len(tenants) != 2 {
+			t.Fatalf("gpu %d has %d tenants", gi, len(tenants))
+		}
+		if tenants[0].Class == tenants[1].Class {
+			t.Errorf("gpu %d hosts a homogeneous pair under class-aware placement", gi)
+		}
+	}
+}
+
+func TestClusterRunAggregates(t *testing.T) {
+	cfg := testCfg()
+	c, _ := New(cfg, 2, 2)
+	opt := gpu.DefaultOptions()
+	opt.FootprintScale = 64
+	alone := metrics.NewAloneIPC(cfg, opt)
+	mk := func() core.Policy {
+		return core.WithOptions(core.NewBP(), func(o *gpu.Options) { o.FootprintScale = 64 })
+	}
+	rep, err := c.Run(jobs(t, "PVC", "DXTC", "LBM", "CP"), PlaceClassAware, mk, alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerGPU) != 2 {
+		t.Fatalf("per-GPU reports = %d", len(rep.PerGPU))
+	}
+	sum := 0.0
+	for _, g := range rep.PerGPU {
+		if g.STP <= 0 {
+			t.Errorf("gpu %s STP = %f", g.Mix.Name, g.STP)
+		}
+		sum += g.STP
+	}
+	if rep.ClusterSTP != sum {
+		t.Errorf("ClusterSTP %f != sum %f", rep.ClusterSTP, sum)
+	}
+	if rep.MeanANTT < 1 {
+		t.Errorf("MeanANTT = %f, want >= 1", rep.MeanANTT)
+	}
+}
+
+func TestClassAwareUGPUBeatsObliviousBP(t *testing.T) {
+	// The cluster-level claim: class-aware placement + UGPU outperforms
+	// arrival-order placement + balanced partitioning.
+	cfg := testCfg()
+	cfg.MaxCycles = 80_000
+	c, _ := New(cfg, 2, 2)
+	opt := gpu.DefaultOptions()
+	opt.FootprintScale = 64
+	alone := metrics.NewAloneIPC(cfg, opt)
+	js := jobs(t, "PVC", "DXTC", "LBM", "CP")
+
+	scale := func(p core.Policy) core.Policy {
+		return core.WithOptions(p, func(o *gpu.Options) { o.FootprintScale = 64 })
+	}
+	base, err := c.Run(js, PlaceInOrder, func() core.Policy { return scale(core.NewBP()) }, alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := c.Run(js, PlaceClassAware, func() core.Policy { return scale(core.NewUGPU(cfg)) }, alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.ClusterSTP <= base.ClusterSTP {
+		t.Errorf("class-aware UGPU cluster STP %.3f not above oblivious BP %.3f",
+			best.ClusterSTP, base.ClusterSTP)
+	}
+}

@@ -1,0 +1,244 @@
+// Package config defines the simulated GPU architecture parameters.
+//
+// The default configuration reproduces Table 1 of the UGPU paper (ISCA'25):
+// an 80-SM GPU with 4 HBM stacks of 8 channels each, a 6 MB LLC split into 64
+// slices, per-SM L1 caches and TLBs, a shared L2 TLB, and HBM timing
+// parameters. Run lengths and epoch lengths are scaled down from the paper's
+// 25M/5M cycles so the full experiment suite is runnable on a laptop; both
+// are plain fields and can be set back to the paper's values.
+package config
+
+import "fmt"
+
+// Config holds every architectural and simulation parameter. The zero value
+// is not usable; start from Default() and override fields.
+type Config struct {
+	// Compute resources.
+	NumSMs          int // total streaming multiprocessors (Table 1: 80)
+	WarpsPerSM      int // max resident warps per SM (Table 1: 64)
+	ThreadsPerWarp  int // SIMT width (Table 1: 32)
+	SchedulersPerSM int // warp schedulers, i.e. max issue per cycle (Table 1: 2)
+	WarpsPerTB      int // warps per thread block (2048 threads / 8 TBs = 8 warps)
+	SMClockMHz      int // SM operating frequency (Table 1: 1400)
+
+	// L1 data cache (per SM).
+	L1Sets       int // Table 1: 64 sets
+	L1Ways       int // Table 1: 6-way
+	L1LineBytes  int // Table 1: 128 B
+	L1MSHRs      int // Table 1: 128 entries
+	L1HitLatency int // pipeline latency of an L1 hit, GPU cycles
+
+	// LLC. Total capacity = LLCSlices * LLCSets * LLCWays * L1LineBytes
+	// (Table 1: 6 MB over 64 slices, 16-way, 48 sets, 120-cycle latency).
+	// Slices are bound to memory channels: LLCSlices/NumChannels per channel.
+	LLCSlices  int
+	LLCSets    int
+	LLCWays    int
+	LLCLatency int
+
+	// TLBs and page table walker.
+	L1TLBEntries   int // per SM, fully associative (Table 1: 64)
+	L2TLBEntries   int // shared (Table 1: 512)
+	L2TLBWays      int // Table 1: 16
+	L2TLBLatency   int // GPU cycles for an L2 TLB lookup
+	PTWThreads     int // concurrent page table walks (Table 1: 64)
+	PTWLevels      int // page table levels (Table 1: 4)
+	PTWStepLatency int // cycles per page-table level access
+	PageFaultDelay int // far-fault latency, GPU cycles (paper: 20us ~ 28000)
+
+	// NoC: SMs x (LLC slices) crossbar (Table 1: 80x64, 32 B links).
+	NoCLatency   int // pipeline traversal latency, GPU cycles
+	NoCLinkBytes int // link width per cycle (Table 1: 32 B)
+
+	// Memory system (Table 1: 4 stacks, 8 channels/stack, 4 bank groups per
+	// channel, 4 banks per group, FR-FCFS, open page, 64-entry queues,
+	// 900 GB/s aggregate).
+	NumStacks        int
+	ChannelsPerStack int
+	BankGroups       int // per channel
+	BanksPerGroup    int
+	QueueEntries     int // per-channel scheduler queue capacity
+	BurstCycles      int // GPU cycles a 128 B burst occupies the channel data bus
+	Timing           HBMTiming
+
+	// Virtual memory.
+	PageBytes       int // Table/eval baseline: 4096
+	DriverDelay     int // GPU driver software delay per fault, cycles (paper: 1000)
+	MigrationCycles int // MIGRATION command latency, GPU cycles (paper: ~40)
+
+	// Epoch-based control.
+	EpochCycles        int  // profiling/reallocation epoch (paper: 5M; scaled default 100K)
+	AlgorithmALUCycles bool // charge the partition-algorithm latency (paper: <=3388 cycles)
+
+	// Simulation.
+	MaxCycles int // default run length (paper: 25M; scaled default 1M)
+	Seed      int64
+}
+
+// HBMTiming holds DRAM timing parameters in memory-controller cycles
+// (Table 1, from the HBM specs of Chatterjee et al. and Ramulator).
+type HBMTiming struct {
+	TRC   int // row cycle
+	TRCD  int // RAS-to-CAS delay
+	TRP   int // row precharge
+	TCL   int // CAS latency
+	TWL   int // write latency
+	TRAS  int // row active time
+	TRRDL int // row-to-row, same bank group
+	TRRDS int // row-to-row, different bank group
+	TFAW  int // four-activation window
+	TRTP  int // read-to-precharge
+	TCCDL int // CAS-to-CAS, same bank group
+	TCCDS int // CAS-to-CAS, different bank group
+	TWTRL int // write-to-read, same bank group
+	TWTRS int // write-to-read, different bank group
+}
+
+// Default returns the Table 1 configuration with scaled-down run lengths.
+func Default() Config {
+	return Config{
+		NumSMs:          80,
+		WarpsPerSM:      64,
+		ThreadsPerWarp:  32,
+		SchedulersPerSM: 2,
+		WarpsPerTB:      8,
+		SMClockMHz:      1400,
+
+		L1Sets:       64,
+		L1Ways:       6,
+		L1LineBytes:  128,
+		L1MSHRs:      128,
+		L1HitLatency: 28,
+
+		LLCSlices:  64,
+		LLCSets:    48,
+		LLCWays:    16,
+		LLCLatency: 120,
+
+		L1TLBEntries:   64,
+		L2TLBEntries:   512,
+		L2TLBWays:      16,
+		L2TLBLatency:   20,
+		PTWThreads:     64,
+		PTWLevels:      4,
+		PTWStepLatency: 60,
+		PageFaultDelay: 28000,
+
+		NoCLatency:   20,
+		NoCLinkBytes: 32,
+
+		NumStacks:        4,
+		ChannelsPerStack: 8,
+		BankGroups:       4,
+		BanksPerGroup:    4,
+		QueueEntries:     64,
+		BurstCycles:      6,
+		Timing: HBMTiming{
+			TRC: 47, TRCD: 14, TRP: 14, TCL: 14, TWL: 2, TRAS: 33,
+			TRRDL: 6, TRRDS: 4, TFAW: 20, TRTP: 4,
+			TCCDL: 2, TCCDS: 1, TWTRL: 8, TWTRS: 3,
+		},
+
+		PageBytes:       4096,
+		DriverDelay:     1000,
+		MigrationCycles: 40,
+
+		EpochCycles:        100_000,
+		AlgorithmALUCycles: true,
+
+		MaxCycles: 1_000_000,
+		Seed:      1,
+	}
+}
+
+// PaperScale returns the configuration with the paper's unscaled run and
+// epoch lengths (25M-cycle runs, 5M-cycle epochs).
+func PaperScale() Config {
+	c := Default()
+	c.EpochCycles = 5_000_000
+	c.MaxCycles = 25_000_000
+	return c
+}
+
+// NumChannels reports the total memory channel count (Table 1: 32).
+func (c Config) NumChannels() int { return c.NumStacks * c.ChannelsPerStack }
+
+// ChannelGroups reports the number of memory allocation units. A channel
+// group is one channel index across all stacks (see DESIGN.md): the
+// customized address mapping spreads every page over all stacks, so channels
+// are granted to applications in groups of NumStacks.
+func (c Config) ChannelGroups() int { return c.ChannelsPerStack }
+
+// ChannelsPerGroup reports how many physical channels one group contains.
+func (c Config) ChannelsPerGroup() int { return c.NumStacks }
+
+// SlicesPerChannel reports LLC slices bound to each memory channel.
+func (c Config) SlicesPerChannel() int { return c.LLCSlices / c.NumChannels() }
+
+// LLCBytes reports total LLC capacity.
+func (c Config) LLCBytes() int { return c.LLCSlices * c.LLCSets * c.LLCWays * c.L1LineBytes }
+
+// L1Bytes reports per-SM L1 capacity.
+func (c Config) L1Bytes() int { return c.L1Sets * c.L1Ways * c.L1LineBytes }
+
+// LinesPerPage reports cache lines per memory page.
+func (c Config) LinesPerPage() int { return c.PageBytes / c.L1LineBytes }
+
+// ThreadsPerSM reports the maximum resident threads per SM.
+func (c Config) ThreadsPerSM() int { return c.WarpsPerSM * c.ThreadsPerWarp }
+
+// TBsPerSM reports the maximum resident thread blocks per SM.
+func (c Config) TBsPerSM() int { return c.WarpsPerSM / c.WarpsPerTB }
+
+// ChannelBandwidthBytesPerCycle reports the modelled per-channel data-bus
+// bandwidth in bytes per GPU cycle.
+func (c Config) ChannelBandwidthBytesPerCycle() float64 {
+	return float64(c.L1LineBytes) / float64(c.BurstCycles)
+}
+
+// AggregateBandwidthGBs reports the modelled peak memory bandwidth in GB/s,
+// which should be close to Table 1's 900 GB/s with the default config.
+func (c Config) AggregateBandwidthGBs() float64 {
+	bytesPerCycle := c.ChannelBandwidthBytesPerCycle() * float64(c.NumChannels())
+	return bytesPerCycle * float64(c.SMClockMHz) * 1e6 / 1e9
+}
+
+// Validate checks structural consistency. It returns an error describing the
+// first violated constraint, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("config: NumSMs must be positive, got %d", c.NumSMs)
+	case c.WarpsPerSM <= 0 || c.WarpsPerTB <= 0:
+		return fmt.Errorf("config: warp counts must be positive (WarpsPerSM=%d WarpsPerTB=%d)", c.WarpsPerSM, c.WarpsPerTB)
+	case c.WarpsPerSM%c.WarpsPerTB != 0:
+		return fmt.Errorf("config: WarpsPerSM (%d) must be a multiple of WarpsPerTB (%d)", c.WarpsPerSM, c.WarpsPerTB)
+	case c.SchedulersPerSM <= 0:
+		return fmt.Errorf("config: SchedulersPerSM must be positive, got %d", c.SchedulersPerSM)
+	case c.L1LineBytes <= 0 || c.L1LineBytes&(c.L1LineBytes-1) != 0:
+		return fmt.Errorf("config: L1LineBytes must be a positive power of two, got %d", c.L1LineBytes)
+	case c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0:
+		return fmt.Errorf("config: PageBytes must be a positive power of two, got %d", c.PageBytes)
+	case c.PageBytes < c.L1LineBytes:
+		return fmt.Errorf("config: PageBytes (%d) must be >= L1LineBytes (%d)", c.PageBytes, c.L1LineBytes)
+	case c.NumStacks <= 0 || c.ChannelsPerStack <= 0:
+		return fmt.Errorf("config: memory geometry must be positive (stacks=%d channels/stack=%d)", c.NumStacks, c.ChannelsPerStack)
+	case c.NumStacks&(c.NumStacks-1) != 0 || c.ChannelsPerStack&(c.ChannelsPerStack-1) != 0:
+		return fmt.Errorf("config: stacks (%d) and channels/stack (%d) must be powers of two", c.NumStacks, c.ChannelsPerStack)
+	case c.BankGroups&(c.BankGroups-1) != 0 || c.BanksPerGroup&(c.BanksPerGroup-1) != 0:
+		return fmt.Errorf("config: bank groups (%d) and banks/group (%d) must be powers of two", c.BankGroups, c.BanksPerGroup)
+	case c.LLCSlices%c.NumChannels() != 0:
+		return fmt.Errorf("config: LLCSlices (%d) must be a multiple of channel count (%d)", c.LLCSlices, c.NumChannels())
+	case c.L1Sets <= 0 || c.L1Ways <= 0 || c.LLCSets <= 0 || c.LLCWays <= 0:
+		return fmt.Errorf("config: cache geometry must be positive")
+	case c.BurstCycles <= 0:
+		return fmt.Errorf("config: BurstCycles must be positive, got %d", c.BurstCycles)
+	case c.EpochCycles <= 0 || c.MaxCycles <= 0:
+		return fmt.Errorf("config: EpochCycles (%d) and MaxCycles (%d) must be positive", c.EpochCycles, c.MaxCycles)
+	case c.QueueEntries <= 0:
+		return fmt.Errorf("config: QueueEntries must be positive, got %d", c.QueueEntries)
+	case c.MigrationCycles <= 0:
+		return fmt.Errorf("config: MigrationCycles must be positive, got %d", c.MigrationCycles)
+	}
+	return nil
+}

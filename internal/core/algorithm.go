@@ -1,0 +1,215 @@
+// Package core implements the UGPU controller: the demand-aware resource
+// partitioning algorithm of Section 3 (Figure 5, Equations 1-2), the
+// baseline policies the paper evaluates against (BP, BP-BS, BP-SB, MPS,
+// CD-Search, UGPU-offline and the UGPU-Ori/UGPU-Soft ablations), QoS
+// support (Section 6.7), and the epoch runner that drives profiling and
+// reallocation.
+package core
+
+import (
+	"ugpu/internal/config"
+	"ugpu/internal/gpu"
+)
+
+// Profile is one application's epoch profile, the algorithm's input
+// (collected by hardware performance counters in the paper).
+type Profile struct {
+	App    int
+	APKI   float64 // LLC accesses per kilo warp-instruction
+	HitLLC float64 // LLC hit rate
+	SMs    int
+	Groups int
+}
+
+// ProfileOf converts gpu epoch stats to the algorithm's input.
+func ProfileOf(e gpu.EpochStats) Profile {
+	return Profile{App: e.App, APKI: e.APKI(), HitLLC: e.HitRate(), SMs: e.SMs, Groups: e.Groups}
+}
+
+// Target is the algorithm's output per application.
+type Target struct {
+	SMs    int
+	Groups int
+}
+
+// Bandwidth models the hardware constants of Equations 1-2, in cache lines
+// per GPU cycle.
+type Bandwidth struct {
+	// IPCMaxPerSM is the stall-free issue rate of one SM (Table 1: 2).
+	IPCMaxPerSM float64
+	// LLCPerGroup is the raw LLC bandwidth of one channel group's slices.
+	LLCPerGroup float64
+	// MemPerGroup is the peak effective DRAM bandwidth of one channel group.
+	MemPerGroup float64
+}
+
+// BandwidthFor derives the Equation 1-2 constants from the configuration:
+// each LLC slice returns one line per NoC-link-serialization (32 B/cycle),
+// and each channel sustains a line every BurstCycles at ~80% efficiency.
+func BandwidthFor(cfg config.Config) Bandwidth {
+	slicesPerGroup := cfg.SlicesPerChannel() * cfg.ChannelsPerGroup()
+	linkLinesPerCycle := float64(cfg.NoCLinkBytes) / float64(cfg.L1LineBytes)
+	return Bandwidth{
+		IPCMaxPerSM: float64(cfg.SchedulersPerSM),
+		LLCPerGroup: float64(slicesPerGroup) * linkLinesPerCycle,
+		MemPerGroup: float64(cfg.ChannelsPerGroup()) * 0.8 / float64(cfg.BurstCycles),
+	}
+}
+
+// Demand is Equation 1 summed over the app's SMs: the stall-free bandwidth
+// demand in lines per cycle. (The paper's per-SM form multiplies by the
+// cache line size and clock; in lines/cycle those constants cancel.)
+func (bw Bandwidth) Demand(p Profile) float64 {
+	return float64(p.SMs) * bw.IPCMaxPerSM * p.APKI / 1000
+}
+
+// Supply is Equation 2 summed over the app's channel groups: the effective
+// bandwidth the LLC and DRAM can deliver given the profiled hit rate.
+func (bw Bandwidth) Supply(p Profile) float64 {
+	perGroup := p.HitLLC*bw.LLCPerGroup + minF((1-p.HitLLC)*bw.LLCPerGroup, bw.MemPerGroup)
+	return float64(p.Groups) * perGroup
+}
+
+// Degree is the bandwidth demand-to-supply ratio: > 1 means memory-bound.
+func (bw Bandwidth) Degree(p Profile) float64 {
+	s := bw.Supply(p)
+	if s <= 0 {
+		return 0
+	}
+	return bw.Demand(p) / s
+}
+
+// MemoryBound applies the paper's classification rule.
+func (bw Bandwidth) MemoryBound(p Profile) bool { return bw.Degree(p) > 1 }
+
+// Algorithm is the demand-aware resource distribution algorithm (Figure 5).
+type Algorithm struct {
+	BW Bandwidth
+	// SMStep is how many SMs move per iteration.
+	SMStep int
+	// MinSMs / MinGroups floor every application's allocation.
+	MinSMs    int
+	MinGroups int
+	// MaxIterations bounds the loop (the paper enforces a break at 20).
+	MaxIterations int
+}
+
+// NewAlgorithm returns the algorithm with the paper's parameters.
+func NewAlgorithm(cfg config.Config) *Algorithm {
+	return &Algorithm{
+		BW:            BandwidthFor(cfg),
+		SMStep:        4,
+		MinSMs:        4,
+		MinGroups:     1,
+		MaxIterations: 20,
+	}
+}
+
+// Decision is the algorithm's result.
+type Decision struct {
+	Targets    []Target
+	Iterations int
+	Changed    bool
+}
+
+// LatencyCycles is the hardware-unit latency of the decision (Section 3.3:
+// 148 cycles of bandwidth calculations plus 162 per iteration, capped at
+// 3388).
+func (d Decision) LatencyCycles() int {
+	lat := 148 + 162*d.Iterations
+	if lat > 3388 {
+		lat = 3388
+	}
+	return lat
+}
+
+// Run executes Figure 5: classify every application by bandwidth demand
+// versus supply, then iteratively move SMs from the most memory-bound
+// application to the most compute-bound one while moving channel groups the
+// opposite way, until the allocation balances or resources run out.
+func (a *Algorithm) Run(profiles []Profile) Decision {
+	cur := make([]Profile, len(profiles))
+	copy(cur, profiles)
+	d := Decision{Targets: make([]Target, len(profiles))}
+	for i, p := range cur {
+		d.Targets[i] = Target{SMs: p.SMs, Groups: p.Groups}
+	}
+	if len(profiles) < 2 {
+		return d
+	}
+
+	for d.Iterations = 0; d.Iterations < a.MaxIterations; d.Iterations++ {
+		// Part (a): degree of bandwidth demand for every application.
+		cb, cbAny, mb := -1, -1, -1
+		var cbDeg, cbAnyDeg, mbDeg float64
+		for i, p := range cur {
+			deg := a.BW.Degree(p)
+			if deg <= 1 {
+				// Compute-bound candidate able to give a channel group.
+				if p.Groups > a.MinGroups && (cb < 0 || deg < cbDeg) {
+					cb, cbDeg = i, deg
+				}
+				// Compute-bound candidate for an SM-only move (its groups
+				// are already at the floor).
+				if cbAny < 0 || deg < cbAnyDeg {
+					cbAny, cbAnyDeg = i, deg
+				}
+			} else {
+				// Memory-bound candidate: must be able to give SMs.
+				if p.SMs-a.SMStep >= a.MinSMs && (mb < 0 || deg > mbDeg) {
+					mb, mbDeg = i, deg
+				}
+			}
+		}
+		if mb < 0 || cbAny < 0 {
+			break // part (c): nothing left to reallocate
+		}
+		groupMove := cb >= 0
+		if !groupMove {
+			// Channel groups bottomed out (e.g. eight apps on eight
+			// groups): SMs alone still move toward demand.
+			cb = cbAny
+		}
+
+		// Part (b): trial move — SMs to the compute-bound app, a channel
+		// group to the memory-bound app.
+		next := make([]Profile, len(cur))
+		copy(next, cur)
+		next[cb].SMs += a.SMStep
+		next[mb].SMs -= a.SMStep
+		if groupMove {
+			next[cb].Groups--
+			next[mb].Groups++
+		}
+
+		// The move must not flip the compute-bound app into memory-bound
+		// territory (its reduced supply must still cover its grown demand)
+		// and must still leave the memory-bound app supply-limited (its
+		// remaining SMs must use the added bandwidth).
+		if a.BW.Degree(next[cb]) > 1 {
+			break
+		}
+		if a.BW.Degree(next[mb]) < 1 {
+			// Accept the final balancing move, then stop.
+			cur = next
+			d.Iterations++
+			break
+		}
+		cur = next
+	}
+
+	for i, p := range cur {
+		if p.SMs != profiles[i].SMs || p.Groups != profiles[i].Groups {
+			d.Changed = true
+		}
+		d.Targets[i] = Target{SMs: p.SMs, Groups: p.Groups}
+	}
+	return d
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ugpu/internal/config"
+)
+
+func testAlg() *Algorithm { return NewAlgorithm(config.Default()) }
+
+// mkProfile builds a profile with the given intensity: APKI ~90 is strongly
+// memory-bound at balanced allocations, ~1 strongly compute-bound.
+func mkProfile(app int, apki, hit float64, sms, groups int) Profile {
+	return Profile{App: app, APKI: apki, HitLLC: hit, SMs: sms, Groups: groups}
+}
+
+func TestClassification(t *testing.T) {
+	bw := BandwidthFor(config.Default())
+	mem := mkProfile(0, 90, 0.05, 40, 4)
+	cmp := mkProfile(1, 1, 0.9, 40, 4)
+	if !bw.MemoryBound(mem) {
+		t.Errorf("APKI=90 app not classified memory-bound (degree %.2f)", bw.Degree(mem))
+	}
+	if bw.MemoryBound(cmp) {
+		t.Errorf("APKI=1 app classified memory-bound (degree %.2f)", bw.Degree(cmp))
+	}
+}
+
+func TestEquationUnits(t *testing.T) {
+	bw := BandwidthFor(config.Default())
+	// Demand of 40 SMs at APKI 90: 40 * 2 * 0.09 = 7.2 lines/cycle.
+	d := bw.Demand(mkProfile(0, 90, 0, 40, 4))
+	if d < 7.1 || d > 7.3 {
+		t.Errorf("demand = %.2f lines/cycle, want 7.2", d)
+	}
+	// Supply with H=0: DRAM-limited.
+	s0 := bw.Supply(mkProfile(0, 90, 0, 40, 4))
+	if want := 4 * bw.MemPerGroup; s0 < want*0.99 || s0 > want*1.01 {
+		t.Errorf("H=0 supply = %.3f, want %.3f (DRAM-limited)", s0, want)
+	}
+	// Supply grows with hit rate (LLC bandwidth kicks in).
+	s9 := bw.Supply(mkProfile(0, 90, 0.9, 40, 4))
+	if s9 <= s0 {
+		t.Errorf("supply with H=0.9 (%.2f) not above H=0 (%.2f)", s9, s0)
+	}
+}
+
+func TestAlgorithmMovesResourcesTowardDemand(t *testing.T) {
+	alg := testAlg()
+	d := alg.Run([]Profile{
+		mkProfile(0, 90, 0.05, 40, 4), // memory-bound
+		mkProfile(1, 1, 0.9, 40, 4),   // compute-bound
+	})
+	if !d.Changed {
+		t.Fatal("algorithm left a strongly heterogeneous pair balanced")
+	}
+	mb, cb := d.Targets[0], d.Targets[1]
+	if mb.Groups <= 4 {
+		t.Errorf("memory-bound app groups = %d, want > 4", mb.Groups)
+	}
+	if cb.SMs <= 40 {
+		t.Errorf("compute-bound app SMs = %d, want > 40", cb.SMs)
+	}
+	if mb.SMs >= 40 || cb.Groups >= 4 {
+		t.Errorf("resources not taken from the donor: mb.SMs=%d cb.Groups=%d", mb.SMs, cb.Groups)
+	}
+}
+
+func TestAlgorithmConservesResources(t *testing.T) {
+	cfg := config.Default()
+	alg := testAlg()
+	f := func(apki0, apki1 uint16, hit0, hit1 uint8) bool {
+		p := []Profile{
+			mkProfile(0, float64(apki0%120), float64(hit0%100)/100, 40, 4),
+			mkProfile(1, float64(apki1%120), float64(hit1%100)/100, 40, 4),
+		}
+		d := alg.Run(p)
+		sms, groups := 0, 0
+		for _, tg := range d.Targets {
+			sms += tg.SMs
+			groups += tg.Groups
+			if tg.SMs < alg.MinSMs || tg.Groups < alg.MinGroups {
+				return false
+			}
+		}
+		return sms == cfg.NumSMs && groups == cfg.ChannelGroups()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmTerminatesWithinBound(t *testing.T) {
+	alg := testAlg()
+	d := alg.Run([]Profile{
+		mkProfile(0, 200, 0.0, 40, 4),
+		mkProfile(1, 0.01, 0.99, 40, 4),
+	})
+	if d.Iterations > alg.MaxIterations {
+		t.Errorf("iterations = %d exceeds bound %d", d.Iterations, alg.MaxIterations)
+	}
+	if d.LatencyCycles() > 3388 {
+		t.Errorf("latency = %d cycles exceeds the paper's 3388 maximum", d.LatencyCycles())
+	}
+}
+
+func TestAlgorithmNoChangeForHomogeneousPair(t *testing.T) {
+	alg := testAlg()
+	// Two equally memory-bound apps: no app is compute-bound, nothing moves.
+	d := alg.Run([]Profile{
+		mkProfile(0, 90, 0.05, 40, 4),
+		mkProfile(1, 88, 0.06, 40, 4),
+	})
+	if d.Changed {
+		t.Errorf("algorithm repartitioned a homogeneous memory-bound pair: %+v", d.Targets)
+	}
+	// Two compute-bound apps: likewise stable.
+	d = alg.Run([]Profile{
+		mkProfile(0, 1, 0.9, 40, 4),
+		mkProfile(1, 2, 0.8, 40, 4),
+	})
+	if d.Changed {
+		t.Errorf("algorithm repartitioned a homogeneous compute-bound pair: %+v", d.Targets)
+	}
+}
+
+func TestAlgorithmIdempotentAtFixedPoint(t *testing.T) {
+	alg := testAlg()
+	p := []Profile{
+		mkProfile(0, 90, 0.05, 40, 4),
+		mkProfile(1, 1, 0.9, 40, 4),
+	}
+	d1 := alg.Run(p)
+	// Re-run with the decided allocation: assuming unchanged behaviour the
+	// algorithm should request little or no further movement.
+	p2 := []Profile{
+		mkProfile(0, 90, 0.05, d1.Targets[0].SMs, d1.Targets[0].Groups),
+		mkProfile(1, 1, 0.9, d1.Targets[1].SMs, d1.Targets[1].Groups),
+	}
+	d2 := alg.Run(p2)
+	if d2.Changed {
+		moved := abs(d2.Targets[0].SMs-p2[0].SMs) + abs(d2.Targets[0].Groups-p2[0].Groups)
+		if moved > alg.SMStep+1 {
+			t.Errorf("fixed point unstable: second run moved %d units (%+v)", moved, d2.Targets)
+		}
+	}
+}
+
+func TestAlgorithmFourApps(t *testing.T) {
+	alg := testAlg()
+	d := alg.Run([]Profile{
+		mkProfile(0, 90, 0.05, 20, 2),
+		mkProfile(1, 80, 0.05, 20, 2),
+		mkProfile(2, 1, 0.9, 20, 2),
+		mkProfile(3, 0.5, 0.95, 20, 2),
+	})
+	if !d.Changed {
+		t.Fatal("no movement for 2 memory-bound + 2 compute-bound apps")
+	}
+	memGroups := d.Targets[0].Groups + d.Targets[1].Groups
+	cmpSMs := d.Targets[2].SMs + d.Targets[3].SMs
+	if memGroups <= 4 {
+		t.Errorf("memory-bound apps hold %d groups, want > 4", memGroups)
+	}
+	if cmpSMs <= 40 {
+		t.Errorf("compute-bound apps hold %d SMs, want > 40", cmpSMs)
+	}
+}
+
+func TestAlgorithmSingleApp(t *testing.T) {
+	alg := testAlg()
+	d := alg.Run([]Profile{mkProfile(0, 90, 0.05, 80, 8)})
+	if d.Changed {
+		t.Error("single-app run must never repartition")
+	}
+}
+
+func TestDecisionLatencyFormula(t *testing.T) {
+	d := Decision{Iterations: 0}
+	if d.LatencyCycles() != 148 {
+		t.Errorf("0-iteration latency = %d, want 148", d.LatencyCycles())
+	}
+	d.Iterations = 20
+	if d.LatencyCycles() != 3388 {
+		t.Errorf("20-iteration latency = %d, want 3388 (148 + 162*20)", d.LatencyCycles())
+	}
+	d.Iterations = 100
+	if d.LatencyCycles() != 3388 {
+		t.Errorf("latency not capped at 3388: %d", d.LatencyCycles())
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"ugpu/internal/config"
+	"ugpu/internal/gpu"
+)
+
+// HillClimb is the prior-work approach the paper argues against (Section
+// 3.1): no demand model, just feedback-driven search over partitions. Each
+// epoch it perturbs the partition by one step (SMs or a channel group,
+// alternating) toward the direction that last improved throughput, reverts
+// on regression, and keeps exploring. Because every probe costs a real
+// reallocation — page migrations included — the search converges slowly and
+// pays overhead the demand-aware algorithm avoids; it is included as a
+// baseline for ablation studies.
+type HillClimb struct {
+	step    int
+	minSMs  int
+	prevIPC float64
+
+	// Search state: the last applied delta, for reverts.
+	lastTargets []Target
+	haveLast    bool
+	moveGroups  bool // alternate between SM and group perturbations
+	dir         int  // +1: give app 0 more, -1: give app 1 more
+	cooldown    int
+}
+
+// NewHillClimb builds the feedback-search baseline (two-program mixes).
+func NewHillClimb(cfg config.Config) *HillClimb {
+	return &HillClimb{step: 4, minSMs: 4, dir: +1}
+}
+
+func (p *HillClimb) Name() string         { return "HillClimb" }
+func (p *HillClimb) Options() gpu.Options { return gpu.DefaultOptions() }
+
+// Initial starts from the balanced partition.
+func (p *HillClimb) Initial(n int, cfg config.Config) ([]Target, error) {
+	return evenTargets(n, cfg)
+}
+
+// Decide perturbs the partition and keeps changes that improve raw system
+// throughput.
+func (p *HillClimb) Decide(cycle uint64, stats []gpu.EpochStats) ([]Target, int, bool) {
+	if len(stats) != 2 {
+		return nil, 0, false
+	}
+	total := 0.0
+	for _, e := range stats {
+		total += e.IPC()
+	}
+	cur := []Target{
+		{SMs: stats[0].SMs, Groups: stats[0].Groups},
+		{SMs: stats[1].SMs, Groups: stats[1].Groups},
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+		p.prevIPC = total
+		return nil, 0, false
+	}
+	if p.haveLast && total < p.prevIPC*0.995 {
+		// Regression: revert the last perturbation, flip direction, and
+		// cool down for an epoch so the revert's own migration overhead
+		// does not read as another regression.
+		p.haveLast = false
+		p.dir = -p.dir
+		p.cooldown = 1
+		p.prevIPC = total
+		return p.lastTargets, 0, true
+	}
+	p.prevIPC = total
+	p.lastTargets = []Target{cur[0], cur[1]}
+
+	next := []Target{cur[0], cur[1]}
+	gain, lose := 0, 1
+	if p.dir < 0 {
+		gain, lose = 1, 0
+	}
+	if p.moveGroups {
+		if next[lose].Groups <= 1 {
+			p.dir = -p.dir
+			p.moveGroups = false
+			return nil, 0, false
+		}
+		next[gain].Groups++
+		next[lose].Groups--
+	} else {
+		if next[lose].SMs-p.step < p.minSMs {
+			p.dir = -p.dir
+			p.moveGroups = true
+			return nil, 0, false
+		}
+		next[gain].SMs += p.step
+		next[lose].SMs -= p.step
+	}
+	p.moveGroups = !p.moveGroups
+	p.haveLast = true
+	return next, 0, true
+}

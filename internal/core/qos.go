@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"ugpu/internal/config"
+	"ugpu/internal/gpu"
+)
+
+// QoS policies for Section 6.7. Application 0 is the high-priority
+// application with a normalized-progress target (0.75 in the paper).
+
+// NewBPQoS is the QoS-aware balanced partition: the high-priority app runs
+// in a big partition (60 SMs, 24 channels), the rest goes to the other app.
+func NewBPQoS() Policy {
+	p := bigSmall(true)
+	return &staticPolicy{name: "BP-QoS", opt: gpu.DefaultOptions(), initial: p}
+}
+
+// NewMPSQoS is MPS with offline-tuned SM shares (60 SMs to the
+// high-priority app) and shared memory channels.
+func NewMPSQoS(cfg config.Config) Policy {
+	mps := NewMPS([]int{cfg.NumSMs * 3 / 4, cfg.NumSMs - cfg.NumSMs*3/4}).(*staticPolicy)
+	mps.name = "MPS-QoS"
+	return mps
+}
+
+// UGPUQoS dynamically constructs unbalanced slices that keep the
+// high-priority app at its normalized-progress target while handing spare
+// resources to the low-priority app.
+type UGPUQoS struct {
+	bw     Bandwidth
+	target float64
+	alone  []float64 // solo IPC per app, for normalized progress
+	step   int
+	minSMs int
+}
+
+// NewUGPUQoS builds the QoS policy. alone holds each app's solo IPC on the
+// full GPU (from a reference run); target is the NP floor (paper: 0.75).
+func NewUGPUQoS(cfg config.Config, alone []float64, target float64) *UGPUQoS {
+	return &UGPUQoS{bw: BandwidthFor(cfg), target: target, alone: alone, step: 4, minSMs: 4}
+}
+
+func (p *UGPUQoS) Name() string         { return "UGPU-QoS" }
+func (p *UGPUQoS) Options() gpu.Options { return gpu.DefaultOptions() }
+
+// Initial gives the high-priority app the big partition, like BP-QoS.
+func (p *UGPUQoS) Initial(n int, cfg config.Config) ([]Target, error) {
+	if n != 2 {
+		return nil, fmt.Errorf("core: UGPU-QoS is defined for 2 applications, got %d", n)
+	}
+	return bigSmall(true)(n, cfg)
+}
+
+// Decide keeps the high-priority app just above its target: while it has
+// slack, spare SMs or channel groups (whichever the low-priority app's
+// class wants) move to the low-priority app; if the target is violated,
+// resources move back.
+func (p *UGPUQoS) Decide(cycle uint64, stats []gpu.EpochStats) ([]Target, int, bool) {
+	hp, lp := stats[0], stats[1]
+	if p.alone[0] <= 0 {
+		return nil, 0, false
+	}
+	np := hp.IPC() / p.alone[0]
+	targets := []Target{
+		{SMs: hp.SMs, Groups: hp.Groups},
+		{SMs: lp.SMs, Groups: lp.Groups},
+	}
+	lpMemBound := p.bw.MemoryBound(ProfileOf(lp))
+
+	switch {
+	case np < p.target*1.04:
+		// Violated or too close: reclaim from the low-priority app.
+		moved := false
+		if lp.SMs-p.step >= p.minSMs && hp.SMs < 72 {
+			targets[0].SMs += p.step
+			targets[1].SMs -= p.step
+			moved = true
+		}
+		if lp.Groups > 1 && hp.Groups < 6 {
+			targets[0].Groups++
+			targets[1].Groups--
+			moved = true
+		}
+		return targets, 148, moved
+	case np > p.target*1.15:
+		// Comfortable slack: donate what the low-priority app wants.
+		if lpMemBound && targets[0].Groups > 1 {
+			// The high-priority (compute-bound) app keeps meeting QoS as
+			// long as its supply covers demand with one fewer group.
+			trial := ProfileOf(hp)
+			trial.Groups--
+			if p.bw.Degree(trial) < 0.9 {
+				targets[0].Groups--
+				targets[1].Groups++
+				return targets, 148, true
+			}
+		}
+		if !lpMemBound && targets[0].SMs-p.step >= p.minSMs {
+			// Donating SMs scales the high-priority app's progress down
+			// roughly linearly; only donate if the target still holds.
+			predicted := np * float64(targets[0].SMs-p.step) / float64(targets[0].SMs)
+			if predicted > p.target*1.06 {
+				targets[0].SMs -= p.step
+				targets[1].SMs += p.step
+				return targets, 148, true
+			}
+		}
+	}
+	return nil, 0, false
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"ugpu/internal/config"
+	"ugpu/internal/dram"
+	"ugpu/internal/gpu"
+	"ugpu/internal/workload"
+)
+
+// AppResult is one application's outcome over a run.
+type AppResult struct {
+	Abbr         string
+	Instructions uint64
+	IPC          float64
+}
+
+// Result summarises a policy run over one workload mix.
+type Result struct {
+	Mix    string
+	Policy string
+	Cycles uint64
+	Apps   []AppResult
+
+	Epochs        int
+	Reallocations int
+
+	// Reallocation overhead accounting (Figure 12a).
+	DataMigCycles uint64
+	SMMigCycles   uint64
+	MigFracMean   float64 // mean per-epoch fraction of overhead cycles
+	MigFracWorst  float64
+
+	// Mechanism counters for energy and analysis.
+	HBM             dram.ChannelStats
+	SMActiveCycles  uint64
+	PageMigrations  uint64
+	FaultMigrations uint64
+
+	// Final is the partition at the end of the run (used to derive
+	// UGPU-offline targets for Figure 10).
+	Final []Target
+}
+
+// TotalIPC sums per-application IPC (raw throughput).
+func (r Result) TotalIPC() float64 {
+	t := 0.0
+	for _, a := range r.Apps {
+		t += a.IPC
+	}
+	return t
+}
+
+// Runner executes one policy over one mix: it builds the GPU with the
+// policy's initial partition, then steps epochs, profiling and applying the
+// policy's reallocation decisions.
+type Runner struct {
+	Cfg config.Config
+	Pol Policy
+	Mix workload.Mix
+	G   *gpu.GPU
+
+	groups [][]int // concrete channel-group ids per app (disjoint mode)
+	shared bool    // MPS-style: group sets overlap, never reallocated
+}
+
+// NewRunner builds the GPU for the mix under the policy's initial partition.
+func NewRunner(cfg config.Config, pol Policy, mix workload.Mix) (*Runner, error) {
+	n := len(mix.Apps)
+	targets, err := pol.Initial(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sumGroups, sumSMs := 0, 0
+	for _, t := range targets {
+		sumGroups += t.Groups
+		sumSMs += t.SMs
+	}
+	if sumSMs > cfg.NumSMs {
+		return nil, fmt.Errorf("core: initial partition wants %d SMs, have %d", sumSMs, cfg.NumSMs)
+	}
+	r := &Runner{Cfg: cfg, Pol: pol, Mix: mix, shared: sumGroups > cfg.ChannelGroups()}
+	specs := make([]gpu.AppSpec, n)
+	r.groups = make([][]int, n)
+	next := 0
+	for i, t := range targets {
+		var ids []int
+		if r.shared {
+			for g := 0; g < t.Groups; g++ {
+				ids = append(ids, g)
+			}
+		} else {
+			for g := 0; g < t.Groups; g++ {
+				ids = append(ids, next)
+				next++
+			}
+		}
+		r.groups[i] = ids
+		specs[i] = gpu.AppSpec{Bench: mix.Apps[i], SMs: t.SMs, Groups: ids}
+	}
+	g, err := gpu.New(cfg, specs, pol.Options())
+	if err != nil {
+		return nil, err
+	}
+	r.G = g
+	return r, nil
+}
+
+// applyTargets converts group counts into concrete group-id moves and
+// applies the partition.
+func (r *Runner) applyTargets(cycle uint64, targets []Target) error {
+	if r.shared {
+		return fmt.Errorf("core: policy %s reallocates groups in shared mode", r.Pol.Name())
+	}
+	var pool []int
+	for i, t := range targets {
+		for len(r.groups[i]) > t.Groups && len(r.groups[i]) > 1 {
+			last := r.groups[i][len(r.groups[i])-1]
+			r.groups[i] = r.groups[i][:len(r.groups[i])-1]
+			pool = append(pool, last)
+		}
+	}
+	for i, t := range targets {
+		for len(r.groups[i]) < t.Groups && len(pool) > 0 {
+			r.groups[i] = append(r.groups[i], pool[len(pool)-1])
+			pool = pool[:len(pool)-1]
+		}
+	}
+	parts := make([]gpu.Partition, len(targets))
+	for i, t := range targets {
+		parts[i] = gpu.Partition{SMs: t.SMs, Groups: r.groups[i]}
+	}
+	return r.G.ApplyPartition(cycle, parts)
+}
+
+// Run simulates for the configured MaxCycles and returns the result.
+func (r *Runner) Run() (Result, error) {
+	res := Result{
+		Mix:    r.Mix.Name,
+		Policy: r.Pol.Name(),
+		Apps:   make([]AppResult, len(r.Mix.Apps)),
+	}
+	for i, b := range r.Mix.Apps {
+		res.Apps[i].Abbr = b.Abbr
+	}
+	total := uint64(r.Cfg.MaxCycles)
+	epoch := uint64(r.Cfg.EpochCycles)
+	for r.G.Cycle() < total {
+		step := epoch
+		if left := total - r.G.Cycle(); left < step {
+			step = left
+		}
+		r.G.Run(step)
+		stats := r.G.EndEpoch()
+		res.Epochs++
+		for i, e := range stats {
+			res.Apps[i].Instructions += e.Instructions
+		}
+		dm, sv := r.G.ReallocationOverhead()
+		res.DataMigCycles += dm
+		res.SMMigCycles += sv
+		frac := float64(dm+sv) / float64(2*step)
+		if frac > 1 {
+			frac = 1
+		}
+		res.MigFracMean += frac
+		if frac > res.MigFracWorst {
+			res.MigFracWorst = frac
+		}
+		if r.G.Cycle() >= total {
+			break
+		}
+		targets, latency, ok := r.Pol.Decide(r.G.Cycle(), stats)
+		if !ok {
+			continue
+		}
+		if latency > 0 && r.Cfg.AlgorithmALUCycles {
+			r.G.Run(uint64(latency))
+		}
+		if err := r.applyTargets(r.G.Cycle(), targets); err != nil {
+			return res, err
+		}
+		res.Reallocations++
+	}
+	res.Cycles = r.G.Cycle()
+	if res.Epochs > 0 {
+		res.MigFracMean /= float64(res.Epochs)
+	}
+	for i := range res.Apps {
+		res.Apps[i].IPC = float64(res.Apps[i].Instructions) / float64(res.Cycles)
+	}
+	res.HBM = r.G.HBM().TotalStats()
+	res.SMActiveCycles = r.G.SMActiveCycles()
+	res.Final = make([]Target, len(r.Mix.Apps))
+	for i := range r.Mix.Apps {
+		p := r.G.PartitionOf(i)
+		res.Final[i] = Target{SMs: p.SMs + r.G.Apps()[i].Inbound(), Groups: len(p.Groups)}
+	}
+	vmStats := r.G.VM().Stats()
+	res.PageMigrations = vmStats.Migrations
+	res.FaultMigrations = r.G.Totals().FaultMigrations
+	return res, nil
+}
+
+// RunPolicy is the one-call helper: build a runner and run it.
+func RunPolicy(cfg config.Config, pol Policy, mix workload.Mix) (Result, error) {
+	r, err := NewRunner(cfg, pol, mix)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.Run()
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"ugpu/internal/config"
+	"ugpu/internal/gpu"
+	"ugpu/internal/workload"
+)
+
+func testCfg() config.Config {
+	cfg := config.Default()
+	cfg.EpochCycles = 20_000
+	cfg.MaxCycles = 160_000
+	return cfg
+}
+
+func testPolicy(p Policy) Policy {
+	return WithOptions(p, func(o *gpu.Options) {
+		o.FootprintScale = 64
+		o.CheckReads = true
+	})
+}
+
+func heteroMix(t *testing.T) workload.Mix {
+	t.Helper()
+	pvc, err := workload.ByAbbr("PVC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxtc, err := workload.ByAbbr("DXTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Mix{Name: "PVC_DXTC", Apps: []workload.Benchmark{pvc, dxtc}, Hetero: true}
+}
+
+func runPolicy(t *testing.T, p Policy, mix workload.Mix) Result {
+	t.Helper()
+	res, err := RunPolicy(testCfg(), testPolicy(p), mix)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", p.Name(), mix.Name, err)
+	}
+	return res
+}
+
+func TestBPEvenSplit(t *testing.T) {
+	cfg := testCfg()
+	targets, err := NewBP().Initial(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targets[0].SMs != 40 || targets[0].Groups != 4 || targets[1].SMs != 40 || targets[1].Groups != 4 {
+		t.Errorf("BP initial = %+v, want even 40/4 split", targets)
+	}
+	four, _ := NewBP().Initial(4, cfg)
+	sms, groups := 0, 0
+	for _, tg := range four {
+		sms += tg.SMs
+		groups += tg.Groups
+	}
+	if sms != 80 || groups != 8 {
+		t.Errorf("BP 4-way split sums to %d SMs / %d groups", sms, groups)
+	}
+}
+
+func TestRunnerBPBaseline(t *testing.T) {
+	res := runPolicy(t, NewBP(), heteroMix(t))
+	if res.Reallocations != 0 {
+		t.Errorf("BP performed %d reallocations, want 0", res.Reallocations)
+	}
+	if res.Epochs < 7 {
+		t.Errorf("epochs = %d, want >= 7 for 160k cycles / 20k epochs", res.Epochs)
+	}
+	for _, a := range res.Apps {
+		if a.IPC <= 0 {
+			t.Errorf("app %s made no progress", a.Abbr)
+		}
+	}
+	if res.PageMigrations != 0 {
+		t.Errorf("BP migrated %d pages, want 0", res.PageMigrations)
+	}
+}
+
+func TestUGPUReallocatesAndWins(t *testing.T) {
+	mix := heteroMix(t)
+	bp := runPolicy(t, NewBP(), mix)
+	ug := runPolicy(t, NewUGPU(testCfg()), mix)
+
+	if ug.Reallocations == 0 {
+		t.Fatal("UGPU never reallocated on a strongly heterogeneous mix")
+	}
+	if ug.PageMigrations == 0 {
+		t.Error("UGPU reallocation caused no page migrations")
+	}
+	// Headline: UGPU total throughput beats BP (paper: +34.3% STP average;
+	// at this scale we require a clear win).
+	if ug.TotalIPC() < bp.TotalIPC()*1.1 {
+		t.Errorf("UGPU total IPC %.1f not >= 1.1x BP %.1f", ug.TotalIPC(), bp.TotalIPC())
+	}
+	// The compute-bound app (DXTC, index 1) must specifically improve.
+	if ug.Apps[1].IPC <= bp.Apps[1].IPC {
+		t.Errorf("DXTC under UGPU (%.1f) not above BP (%.1f)", ug.Apps[1].IPC, bp.Apps[1].IPC)
+	}
+}
+
+func TestUGPUStableOnHomogeneousMix(t *testing.T) {
+	pvc, _ := workload.ByAbbr("PVC")
+	lbm, _ := workload.ByAbbr("LBM")
+	mix := workload.Mix{Name: "PVC_LBM", Apps: []workload.Benchmark{pvc, lbm}}
+	res := runPolicy(t, NewUGPU(testCfg()), mix)
+	if res.Reallocations > 2 {
+		t.Errorf("UGPU reallocated %d times on a homogeneous memory-bound mix", res.Reallocations)
+	}
+}
+
+func TestMigFractionAccounting(t *testing.T) {
+	res := runPolicy(t, NewUGPU(testCfg()), heteroMix(t))
+	if res.Reallocations > 0 && res.MigFracMean <= 0 {
+		t.Error("reallocations happened but migration fraction is zero")
+	}
+	if res.MigFracWorst > 1 || res.MigFracMean > 1 {
+		t.Errorf("migration fractions out of range: mean=%.2f worst=%.2f", res.MigFracMean, res.MigFracWorst)
+	}
+}
+
+func TestBPBSAndSB(t *testing.T) {
+	mix := heteroMix(t)
+	bs := runPolicy(t, NewBPBS(), mix)
+	sb := runPolicy(t, NewBPSB(), mix)
+	// PVC (app 0) gets the big partition under BP-BS and the small one
+	// under BP-SB.
+	if bs.Apps[0].IPC <= sb.Apps[0].IPC {
+		t.Errorf("PVC: big partition IPC %.1f not above small %.1f", bs.Apps[0].IPC, sb.Apps[0].IPC)
+	}
+	if sb.Apps[1].IPC <= bs.Apps[1].IPC {
+		t.Errorf("DXTC: big partition IPC %.1f not above small %.1f", sb.Apps[1].IPC, bs.Apps[1].IPC)
+	}
+}
+
+func TestMPSRuns(t *testing.T) {
+	res := runPolicy(t, NewMPS(nil), heteroMix(t))
+	if res.PageMigrations != 0 {
+		t.Errorf("MPS migrated %d pages", res.PageMigrations)
+	}
+	for _, a := range res.Apps {
+		if a.IPC <= 0 {
+			t.Errorf("app %s made no progress under MPS", a.Abbr)
+		}
+	}
+}
+
+func TestCDSearchMovesOnlySMs(t *testing.T) {
+	mix := heteroMix(t)
+	cd := NewCDSearch(testCfg())
+	r, err := NewRunner(testCfg(), testPolicy(cd), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reallocations == 0 {
+		t.Error("CD-Search never moved SMs on a heterogeneous mix")
+	}
+	if res.PageMigrations != 0 {
+		t.Errorf("CD-Search migrated %d pages; it must only move SMs", res.PageMigrations)
+	}
+	p0 := r.G.PartitionOf(0)
+	if len(p0.Groups) != 4 {
+		t.Errorf("CD-Search changed channel allocation: app 0 has %d groups", len(p0.Groups))
+	}
+}
+
+func TestUGPUOfflineFixedPartition(t *testing.T) {
+	mix := heteroMix(t)
+	off := NewUGPUOffline([]Target{{SMs: 20, Groups: 6}, {SMs: 60, Groups: 2}})
+	res := runPolicy(t, off, mix)
+	if res.Reallocations != 0 {
+		t.Errorf("UGPU-offline reallocated %d times", res.Reallocations)
+	}
+	if res.PageMigrations != 0 {
+		t.Errorf("UGPU-offline migrated %d pages", res.PageMigrations)
+	}
+	bp := runPolicy(t, NewBP(), mix)
+	if res.TotalIPC() <= bp.TotalIPC() {
+		t.Errorf("UGPU-offline total IPC %.1f not above BP %.1f", res.TotalIPC(), bp.TotalIPC())
+	}
+}
+
+func TestQoSPolicies(t *testing.T) {
+	mix := workload.Mix{Name: "DXTC_PVC", Apps: []workload.Benchmark{
+		mustBench(t, "DXTC"), mustBench(t, "PVC"),
+	}, Hetero: true}
+	cfg := testCfg()
+	// Reference: DXTC alone reaches ~full IPC; prime with the known peak.
+	alone := []float64{150, 40}
+	qos := NewUGPUQoS(cfg, alone, 0.75)
+	res := runPolicy(t, qos, mix)
+	np := res.Apps[0].IPC / alone[0]
+	if np < 0.70 {
+		t.Errorf("UGPU-QoS high-priority NP = %.2f, want >= ~0.75 target", np)
+	}
+	if res.Apps[1].IPC <= 0 {
+		t.Error("low-priority app starved")
+	}
+}
+
+func mustBench(t *testing.T, abbr string) workload.Benchmark {
+	t.Helper()
+	b, err := workload.ByAbbr(abbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRunnerRejectsBadPolicyMixCombos(t *testing.T) {
+	cfg := testCfg()
+	pvc := mustBench(t, "PVC")
+	threeMix := workload.Mix{Name: "x", Apps: []workload.Benchmark{pvc, pvc, pvc}}
+	if _, err := NewRunner(cfg, NewBPBS(), threeMix); err == nil {
+		t.Error("BP-BS accepted a 3-app mix")
+	}
+}

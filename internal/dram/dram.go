@@ -1,0 +1,383 @@
+// Package dram implements a cycle-level HBM memory system with PageMove.
+//
+// The model follows Table 1 of the UGPU paper: 4 stacks x 8 channels x 4
+// bank groups x 4 banks, FR-FCFS scheduling with an open-page policy,
+// per-channel 64-entry queues, and the listed HBM timing parameters. Data
+// transfers occupy a per-channel data bus for a configurable number of GPU
+// cycles, sized so the aggregate bandwidth is ~900 GB/s.
+//
+// On top of the baseline model, the package implements the PageMove
+// machinery of Section 4: a per-channel crossbar that lets any bank group
+// drive any idle TSV set, the MIGRATION command (a bank-to-bank line copy
+// between channels of one stack that bypasses the channels' data buses), and
+// the parallel page migration mode (PPMM). Two slower migration modes are
+// also provided for the UGPU-Soft and UGPU-Ori ablations: line copies via
+// ordinary READ/WRITE commands within a stack, and cross-stack copies
+// through the memory-controller path.
+package dram
+
+import (
+	"fmt"
+
+	"ugpu/internal/addr"
+	"ugpu/internal/config"
+)
+
+// Request is one cache-line DRAM access.
+type Request struct {
+	Addr    uint64
+	Loc     addr.Location
+	IsWrite bool
+	AppID   int
+	// Done is invoked when the access completes (data returned for reads,
+	// data written for writes). It must not be nil.
+	Done func(finish uint64, r *Request)
+
+	// Private scheduling state.
+	enqueuedAt uint64
+}
+
+// DebugBind, when non-nil, receives scheduling state per command (tests).
+var DebugBind func(cycle uint64, st map[string]int64)
+
+const noRow = -1
+
+// farPast initializes "time of last event" state so that timing constraints
+// referencing events that never happened are trivially satisfied.
+const farPast = int64(-1) << 40
+
+// bank tracks one DRAM bank's row-buffer and timing state. Times are signed
+// so they can be initialized to farPast.
+type bank struct {
+	openRow  int
+	readyAt  int64 // earliest cycle the bank accepts another command
+	actAt    int64 // time of last ACT (for tRC)
+	rasUntil int64 // earliest PRE after last ACT (tRAS)
+	queue    []*Request
+}
+
+// group tracks per-bank-group timing state.
+type group struct {
+	lastCAS    int64
+	lastACT    int64
+	writeEnd   int64 // end of last write burst (for tWTRL)
+	migBusyTil int64 // bank-group data path held by a MIGRATION command
+}
+
+// channel is one HBM channel: 4 bank groups x 4 banks plus shared state.
+type channel struct {
+	banks     []bank // BankGroups*BanksPerGroup, indexed bg*BanksPerGroup+bank
+	groups    []group
+	busFreeAt int64 // data bus (TSV set) availability
+	lastCAS   int64
+	lastACT   int64
+	writeEnd  int64
+	actTimes  []int64 // ring of last 4 ACTs, for tFAW
+	actIdx    int
+	rrBank    int // rotating scan start so arrival-time ties spread over banks
+	queued    int
+	lastUse   int64 // for idle-channel detection on the logic die
+
+	stats ChannelStats
+}
+
+// ChannelStats aggregates per-channel activity counters. Counters are
+// cumulative; callers snapshot and subtract across epochs.
+type ChannelStats struct {
+	Reads      uint64
+	Writes     uint64
+	RowHits    uint64
+	RowMisses  uint64
+	Activates  uint64
+	Precharges uint64
+	Migrations uint64 // MIGRATION commands completed
+	BusyCycles uint64 // data-bus occupancy
+	QueueFull  uint64 // rejected enqueues
+}
+
+// HBM is the whole memory system.
+type HBM struct {
+	cfg      config.Config
+	channels []*channel // global channel id = stack*ChannelsPerStack + ch
+	perApp   []AppStats
+
+	migs        []*migJob
+	migsDone    []*migJob // scratch
+	crossLink   []uint64  // per-stack interposer link availability (UGPU-Ori path)
+	tsvBusy     []int     // per-stack TSV sets borrowed by in-flight MIGRATIONs
+	activeMigPP int       // MIGRATION commands in flight (all stacks)
+}
+
+// AppStats aggregates per-application memory traffic for profiling.
+type AppStats struct {
+	ReadLines  uint64
+	WriteLines uint64
+}
+
+// New builds the memory system. maxApps bounds AppID.
+func New(cfg config.Config, maxApps int) *HBM {
+	h := &HBM{
+		cfg:       cfg,
+		channels:  make([]*channel, cfg.NumChannels()),
+		perApp:    make([]AppStats, maxApps),
+		crossLink: make([]uint64, cfg.NumStacks),
+		tsvBusy:   make([]int, cfg.NumStacks),
+	}
+	for i := range h.channels {
+		ch := &channel{
+			banks:    make([]bank, cfg.BankGroups*cfg.BanksPerGroup),
+			groups:   make([]group, cfg.BankGroups),
+			actTimes: make([]int64, 4),
+			lastCAS:  farPast,
+			lastACT:  farPast,
+			writeEnd: farPast,
+		}
+		for t := range ch.actTimes {
+			ch.actTimes[t] = farPast
+		}
+		for b := range ch.banks {
+			ch.banks[b] = bank{openRow: noRow, actAt: farPast, rasUntil: farPast}
+		}
+		for g := range ch.groups {
+			ch.groups[g] = group{lastCAS: farPast, lastACT: farPast, writeEnd: farPast, migBusyTil: farPast}
+		}
+		h.channels[i] = ch
+	}
+	return h
+}
+
+// QueueSpace reports how many more requests the channel can accept.
+func (h *HBM) QueueSpace(globalCh int) int {
+	return h.cfg.QueueEntries - h.channels[globalCh].queued
+}
+
+// Enqueue submits a request. It reports false (and drops the request) if the
+// channel queue is full; the caller must retry later.
+func (h *HBM) Enqueue(cycle uint64, r *Request) bool {
+	ch := h.channels[r.Loc.GlobalChannel(h.cfg.ChannelsPerStack)]
+	if ch.queued >= h.cfg.QueueEntries {
+		ch.stats.QueueFull++
+		return false
+	}
+	r.enqueuedAt = cycle
+	b := &ch.banks[r.Loc.BankGroup*h.cfg.BanksPerGroup+r.Loc.Bank]
+	b.queue = append(b.queue, r)
+	ch.queued++
+	ch.lastUse = maxI(ch.lastUse, int64(cycle))
+	return true
+}
+
+// Tick advances the memory system by one GPU cycle: each channel issues at
+// most one command, and migration jobs make progress.
+func (h *HBM) Tick(cycle uint64) {
+	for gi, ch := range h.channels {
+		if ch.queued > 0 {
+			h.issueOne(cycle, gi, ch)
+		}
+	}
+	if len(h.migs) > 0 {
+		h.tickMigrations(cycle)
+	}
+}
+
+// issueOne performs FR-FCFS selection for one channel: among banks that can
+// accept a command, prefer the oldest row-hit request; otherwise the oldest
+// request overall. Issue is gated so the data bus never runs more than two
+// bursts ahead, keeping reordering meaningful.
+func (h *HBM) issueOne(cycle uint64, globalCh int, ch *channel) {
+	// Gate issue so the data bus reservation never runs more than a
+	// row-miss-latency window ahead: enough headroom for banks to pipeline
+	// row misses, small enough that FR-FCFS reordering stays meaningful.
+	c := int64(cycle)
+	t := h.cfg.Timing
+	window := int64(t.TRP + t.TRCD + t.TCL + 8*h.cfg.BurstCycles)
+	if ch.busFreeAt > c+window {
+		return
+	}
+	// FR-FCFS approximation over bank-queue heads, in priority order:
+	// (1) oldest row hit on a ready bank, (2) oldest request on a bank out
+	// of its tRC/tRAS shadow (its ACT can issue promptly), (3) oldest
+	// request overall (guarantees progress and bounds starvation).
+	var hit, ready, oldest *Request
+	var hitBank, readyBank, oldBank *bank
+	var hitIdx, readyIdx, oldIdx int
+	tRC := int64(h.cfg.Timing.TRC)
+	nb := len(ch.banks)
+	for k := 0; k < nb; k++ {
+		bi := (ch.rrBank + k) % nb
+		b := &ch.banks[bi]
+		if len(b.queue) == 0 {
+			continue
+		}
+		// The bank-group data path may be held by a MIGRATION command.
+		if ch.groups[bi/h.cfg.BanksPerGroup].migBusyTil > c {
+			continue
+		}
+		r := b.queue[0]
+		if oldest == nil || r.enqueuedAt < oldest.enqueuedAt {
+			oldest, oldBank, oldIdx = r, b, bi
+		}
+		if b.readyAt > c {
+			continue
+		}
+		if b.openRow == r.Loc.Row {
+			if hit == nil || r.enqueuedAt < hit.enqueuedAt {
+				hit, hitBank, hitIdx = r, b, bi
+			}
+			continue
+		}
+		if b.actAt+tRC <= c {
+			if ready == nil || r.enqueuedAt < ready.enqueuedAt {
+				ready, readyBank, readyIdx = r, b, bi
+			}
+		}
+	}
+	r, b, bi := hit, hitBank, hitIdx
+	if r == nil {
+		r, b, bi = ready, readyBank, readyIdx
+	}
+	if r == nil {
+		r, b, bi = oldest, oldBank, oldIdx
+	}
+	if r == nil {
+		return
+	}
+	ch.rrBank = (bi + 1) % nb
+	finish := h.schedule(cycle, ch, b, r)
+	b.queue = b.queue[1:]
+	ch.queued--
+	h.complete(finish, r)
+}
+
+// schedule computes the completion time of a request on its bank,
+// respecting the Table 1 timing constraints, and updates all timing state.
+func (h *HBM) schedule(cycle uint64, ch *channel, b *bank, r *Request) uint64 {
+	t := h.cfg.Timing
+	g := &ch.groups[r.Loc.BankGroup]
+	casAt := maxI(int64(cycle), b.readyAt)
+
+	if b.openRow != r.Loc.Row {
+		rowReady := casAt
+		if b.openRow != noRow {
+			preAt := maxI(casAt, b.rasUntil)
+			rowReady = preAt + int64(t.TRP)
+			ch.stats.Precharges++
+		}
+		actAt := maxI(rowReady, g.lastACT+int64(t.TRRDL))
+		actAt = maxI(actAt, ch.lastACT+int64(t.TRRDS))
+		actAt = maxI(actAt, b.actAt+int64(t.TRC))
+		actAt = maxI(actAt, ch.actTimes[ch.actIdx]+int64(t.TFAW))
+		ch.actTimes[ch.actIdx] = actAt
+		ch.actIdx = (ch.actIdx + 1) % len(ch.actTimes)
+		g.lastACT, ch.lastACT = actAt, actAt
+		b.actAt = actAt
+		b.rasUntil = actAt + int64(t.TRAS)
+		b.openRow = r.Loc.Row
+		casAt = actAt + int64(t.TRCD)
+		ch.stats.Activates++
+		ch.stats.RowMisses++
+	} else {
+		ch.stats.RowHits++
+	}
+
+	if DebugBind != nil {
+		DebugBind(cycle, map[string]int64{
+			"cycle": int64(cycle), "bankReady": b.readyAt,
+			"grpACT": g.lastACT + int64(t.TRRDL), "chACT": ch.lastACT + int64(t.TRRDS),
+			"tRC": b.actAt + int64(t.TRC), "faw": ch.actTimes[ch.actIdx] + int64(t.TFAW),
+			"casAt": casAt, "bus": ch.busFreeAt,
+		})
+	}
+	casAt = maxI(casAt, g.lastCAS+int64(t.TCCDL))
+	casAt = maxI(casAt, ch.lastCAS+int64(t.TCCDS))
+	if !r.IsWrite {
+		// Write-to-read turnaround.
+		casAt = maxI(casAt, g.writeEnd+int64(t.TWTRL))
+		casAt = maxI(casAt, ch.writeEnd+int64(t.TWTRS))
+	}
+	g.lastCAS, ch.lastCAS = casAt, casAt
+
+	lat := int64(t.TCL)
+	if r.IsWrite {
+		lat = int64(t.TWL)
+	}
+	dataStart := maxI(casAt+lat, ch.busFreeAt)
+	dataEnd := dataStart + int64(h.cfg.BurstCycles)
+	ch.busFreeAt = dataEnd
+	ch.stats.BusyCycles += uint64(h.cfg.BurstCycles)
+	ch.lastUse = dataEnd
+	b.readyAt = casAt + int64(t.TCCDL)
+	if r.IsWrite {
+		g.writeEnd, ch.writeEnd = dataEnd, dataEnd
+		b.readyAt = maxI(b.readyAt, dataEnd) // write recovery approximation
+		ch.stats.Writes++
+		h.perApp[r.AppID].WriteLines++
+	} else {
+		ch.stats.Reads++
+		h.perApp[r.AppID].ReadLines++
+	}
+	return uint64(dataEnd)
+}
+
+func (h *HBM) complete(finish uint64, r *Request) {
+	if r.Done != nil {
+		r.Done(finish, r)
+	}
+}
+
+// ChannelStatsSnapshot returns a copy of one channel's counters.
+func (h *HBM) ChannelStatsSnapshot(globalCh int) ChannelStats {
+	return h.channels[globalCh].stats
+}
+
+// AppStatsSnapshot returns a copy of one application's traffic counters.
+func (h *HBM) AppStatsSnapshot(appID int) AppStats { return h.perApp[appID] }
+
+// TotalStats sums counters over all channels.
+func (h *HBM) TotalStats() ChannelStats {
+	var s ChannelStats
+	for _, ch := range h.channels {
+		s.Reads += ch.stats.Reads
+		s.Writes += ch.stats.Writes
+		s.RowHits += ch.stats.RowHits
+		s.RowMisses += ch.stats.RowMisses
+		s.Activates += ch.stats.Activates
+		s.Precharges += ch.stats.Precharges
+		s.Migrations += ch.stats.Migrations
+		s.BusyCycles += ch.stats.BusyCycles
+		s.QueueFull += ch.stats.QueueFull
+	}
+	return s
+}
+
+// ChannelIdleFor reports how long a channel's data path has been idle; this
+// models the idle-channel detection logic PageMove adds to the logic die.
+func (h *HBM) ChannelIdleFor(cycle uint64, globalCh int) uint64 {
+	ch := h.channels[globalCh]
+	c := int64(cycle)
+	if ch.busFreeAt > c || ch.lastUse > c {
+		return 0
+	}
+	return uint64(c - ch.lastUse)
+}
+
+// PendingMigrations reports migration jobs still in flight.
+func (h *HBM) PendingMigrations() int { return len(h.migs) }
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (h *HBM) String() string {
+	return fmt.Sprintf("HBM{%d stacks x %d channels}", h.cfg.NumStacks, h.cfg.ChannelsPerStack)
+}

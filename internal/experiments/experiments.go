@@ -1,0 +1,157 @@
+// Package experiments regenerates every table and figure of the UGPU
+// paper's evaluation (Section 6) on the simulated GPU. Each generator
+// returns a Figure with named series; cmd/experiments prints them and
+// EXPERIMENTS.md records paper-vs-measured comparisons.
+//
+// Run lengths and sweep sizes are scaled (DESIGN.md): results reproduce the
+// paper's shapes — who wins, by roughly what factor, where crossovers fall —
+// not absolute numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ugpu/internal/config"
+	"ugpu/internal/core"
+	"ugpu/internal/gpu"
+	"ugpu/internal/metrics"
+	"ugpu/internal/workload"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	Cfg            config.Config
+	Mixes          int       // mixes per sweep (0 = suite default)
+	FootprintScale int       // divides Table 2 footprints
+	Log            io.Writer // optional progress log
+}
+
+// Default returns laptop-scale options: 150K-cycle runs with 25K-cycle
+// epochs over a subset of mixes.
+func Default() Options {
+	cfg := config.Default()
+	cfg.MaxCycles = 150_000
+	cfg.EpochCycles = 25_000
+	return Options{Cfg: cfg, Mixes: 6, FootprintScale: 64}
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format, args...)
+	}
+}
+
+func (o Options) gpuOptions() gpu.Options {
+	g := gpu.DefaultOptions()
+	g.FootprintScale = o.FootprintScale
+	return g
+}
+
+// withScale applies the experiment's footprint scale to a policy.
+func (o Options) withScale(p core.Policy) core.Policy {
+	return core.WithOptions(p, func(g *gpu.Options) { g.FootprintScale = o.FootprintScale })
+}
+
+// Series is one plotted line/bar group.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Figure is one regenerated table or figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Format renders the figure as an aligned text table.
+func (f Figure) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) > 0 {
+		// Header from the first series' labels.
+		fmt.Fprintf(w, "%-22s", "series")
+		for _, l := range f.Series[0].Labels {
+			fmt.Fprintf(w, " %12s", l)
+		}
+		fmt.Fprintln(w)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, "%-22s", s.Name)
+			for _, v := range s.Values {
+				fmt.Fprintf(w, " %12.3f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// sortedByValue sorts a copy of xs ascending (the paper's S-curve x-axis
+// ordering: workloads sorted by STP).
+func sortedByValue(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// scored runs one policy over mixes and returns per-mix STP and ANTT.
+func (o Options) scored(pol core.Policy, mixes []workload.Mix, alone *metrics.AloneIPC) (stp, antt []float64, err error) {
+	for _, mix := range mixes {
+		res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s on %s: %w", pol.Name(), mix.Name, err)
+		}
+		ref, err := alone.Table(mix)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, a := metrics.Score(res, ref)
+		stp = append(stp, s)
+		antt = append(antt, a)
+		o.logf("  %-14s %-22s STP=%.3f ANTT=%.3f realloc=%d\n", pol.Name(), mix.Name, s, a, res.Reallocations)
+	}
+	return stp, antt, nil
+}
+
+// aloneRef builds the shared solo-IPC reference runner.
+func (o Options) aloneRef() *metrics.AloneIPC {
+	return metrics.NewAloneIPC(o.Cfg, o.gpuOptions())
+}
+
+// heteroMixes returns the sweep's heterogeneous two-program mixes.
+func (o Options) heteroMixes() []workload.Mix {
+	n := o.Mixes
+	if n <= 0 {
+		n = 6
+	}
+	all := workload.HeterogeneousPairs(50)
+	// Spread selections across the 50-mix set rather than taking a prefix,
+	// so different memory-/compute-bound pairings are represented.
+	if n >= len(all) {
+		return all
+	}
+	out := make([]workload.Mix, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, all[i*len(all)/n])
+	}
+	return out
+}

@@ -1,0 +1,586 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ugpu/internal/addr"
+	"ugpu/internal/core"
+	"ugpu/internal/dram"
+	"ugpu/internal/gpu"
+	"ugpu/internal/metrics"
+	"ugpu/internal/workload"
+)
+
+// soloIPC runs one benchmark alone with the given slice size, discarding a
+// warm-up window so the deep-MLP fill transient does not inflate
+// high-bandwidth configurations.
+func (o Options) soloIPC(b workload.Benchmark, sms, groups int) (float64, error) {
+	ids := make([]int, groups)
+	for i := range ids {
+		ids[i] = i
+	}
+	g, err := gpu.New(o.Cfg, []gpu.AppSpec{{Bench: b, SMs: sms, Groups: ids}}, o.gpuOptions())
+	if err != nil {
+		return 0, err
+	}
+	g.Run(uint64(o.Cfg.MaxCycles))
+	g.EndEpoch()
+	g.Run(uint64(o.Cfg.MaxCycles / 2))
+	return g.EndEpoch()[0].IPC(), nil
+}
+
+// perfSweep implements the Figure 2/3 sweeps: performance of one benchmark
+// while varying the MC count at 40 SMs and the SM count at 16 MCs,
+// normalized to the half-GPU slice (40 SMs, 16 MCs = 4 channel groups).
+func (o Options) perfSweep(abbr string, id, title string) (Figure, error) {
+	b, err := workload.ByAbbr(abbr)
+	if err != nil {
+		return Figure{}, err
+	}
+	base, err := o.soloIPC(b, 40, 4)
+	if err != nil {
+		return Figure{}, err
+	}
+	chPerGroup := o.Cfg.ChannelsPerGroup()
+
+	var mcSeries Series
+	mcSeries.Name = "40 SMs, vary MCs"
+	for _, groups := range []int{1, 2, 4, 6, 8} {
+		ipc, err := o.soloIPC(b, 40, groups)
+		if err != nil {
+			return Figure{}, err
+		}
+		mcSeries.Labels = append(mcSeries.Labels, fmt.Sprintf("%dMC", groups*chPerGroup))
+		mcSeries.Values = append(mcSeries.Values, ipc/base)
+		o.logf("  %s 40SM/%dMC -> %.3f\n", abbr, groups*chPerGroup, ipc/base)
+	}
+
+	var smSeries Series
+	smSeries.Name = "16 MCs, vary SMs"
+	for _, sms := range []int{10, 20, 40, 60, 80} {
+		ipc, err := o.soloIPC(b, sms, 4)
+		if err != nil {
+			return Figure{}, err
+		}
+		smSeries.Labels = append(smSeries.Labels, fmt.Sprintf("%dSM", sms))
+		smSeries.Values = append(smSeries.Values, ipc/base)
+		o.logf("  %s %dSM/16MC -> %.3f\n", abbr, sms, ipc/base)
+	}
+	return Figure{
+		ID:     id,
+		Title:  title,
+		Series: []Series{mcSeries, smSeries},
+		Notes:  []string{"values normalized to the 40-SM/16-MC half-GPU slice"},
+	}, nil
+}
+
+// Figure2 reproduces the compute-bound sweep (DXTC).
+func (o Options) Figure2() (Figure, error) {
+	return o.perfSweep("DXTC", "Figure 2", "compute-bound app performance vs MC and SM count")
+}
+
+// Figure3 reproduces the memory-bound sweep (PVC).
+func (o Options) Figure3() (Figure, error) {
+	return o.perfSweep("PVC", "Figure 3", "memory-bound app performance vs MC and SM count")
+}
+
+// Figure4 reproduces the PVC_DXTC resource-distribution surface: system
+// throughput while varying the memory-bound app's share of SMs and MCs
+// (the compute-bound app receives the remainder).
+func (o Options) Figure4() (Figure, error) {
+	pvc, _ := workload.ByAbbr("PVC")
+	dxtc, _ := workload.ByAbbr("DXTC")
+	mix := workload.Mix{Name: "PVC_DXTC", Apps: []workload.Benchmark{pvc, dxtc}, Hetero: true}
+	alone := o.aloneRef()
+	ref, err := alone.Table(mix)
+	if err != nil {
+		return Figure{}, err
+	}
+
+	smShares := []int{16, 24, 40, 56, 64}
+	grShares := []int{2, 4, 6}
+	fig := Figure{
+		ID:    "Figure 4",
+		Title: "system STP vs resource distribution to the memory-bound app (PVC_DXTC)",
+		Notes: []string{"rows: channel groups to PVC; columns: SMs to PVC; cells: STP"},
+	}
+	for _, gr := range grShares {
+		s := Series{Name: fmt.Sprintf("%d groups (%d MCs)", gr, gr*o.Cfg.ChannelsPerGroup())}
+		for _, sm := range smShares {
+			pol := core.NewUGPUOffline([]core.Target{
+				{SMs: sm, Groups: gr},
+				{SMs: o.Cfg.NumSMs - sm, Groups: o.Cfg.ChannelGroups() - gr},
+			})
+			res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			stp, _ := metrics.Score(res, ref)
+			s.Labels = append(s.Labels, fmt.Sprintf("%dSM", sm))
+			s.Values = append(s.Values, stp)
+			o.logf("  PVC share %dSM/%dgr -> STP %.3f\n", sm, gr, stp)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ugpuOfflineFor derives per-mix offline targets from a UGPU run's final
+// partition (the paper's offline-profiled ideal).
+func (o Options) ugpuOfflineFor(mix workload.Mix) (core.Policy, error) {
+	res, err := core.RunPolicy(o.Cfg, o.withScale(core.NewUGPU(o.Cfg)), mix)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewUGPUOffline(res.Final), nil
+}
+
+// Figure10 compares BP, BP-BS, BP-SB, UGPU and UGPU-offline over the
+// heterogeneous mixes: sorted STP and ANTT per policy plus means.
+func (o Options) Figure10() (Figure, error) {
+	mixes := o.heteroMixes()
+	alone := o.aloneRef()
+	fig := Figure{ID: "Figure 10", Title: "STP/ANTT across heterogeneous workloads"}
+
+	type polCase struct {
+		name string
+		make func(mix workload.Mix) (core.Policy, error)
+	}
+	cases := []polCase{
+		{"BP", func(workload.Mix) (core.Policy, error) { return core.NewBP(), nil }},
+		{"BP-BS", func(workload.Mix) (core.Policy, error) { return core.NewBPBS(), nil }},
+		{"BP-SB", func(workload.Mix) (core.Policy, error) { return core.NewBPSB(), nil }},
+		{"UGPU", func(workload.Mix) (core.Policy, error) { return core.NewUGPU(o.Cfg), nil }},
+		{"UGPU-offline", o.ugpuOfflineFor},
+	}
+	labels := make([]string, len(mixes)+1)
+	for i := range mixes {
+		labels[i] = fmt.Sprintf("wl%d", i+1)
+	}
+	labels[len(mixes)] = "mean"
+	for _, c := range cases {
+		var stps, antts []float64
+		for _, mix := range mixes {
+			pol, err := c.make(mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			ref, err := alone.Table(mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			s, a := metrics.Score(res, ref)
+			stps = append(stps, s)
+			antts = append(antts, a)
+			o.logf("  %-13s %-22s STP=%.3f ANTT=%.3f\n", c.name, mix.Name, s, a)
+		}
+		sorted := sortedByValue(stps)
+		fig.Series = append(fig.Series, Series{
+			Name: c.name + " STP", Labels: labels,
+			Values: append(sorted, Mean(stps)),
+		})
+		fig.Series = append(fig.Series, Series{
+			Name: c.name + " ANTT", Labels: labels,
+			Values: append(sortedByValue(antts), Mean(antts)),
+		})
+	}
+	fig.Notes = append(fig.Notes,
+		"per-policy STP values sorted ascending (the paper's S-curve); last column is the mean",
+		"paper: UGPU improves STP by 34.3% and ANTT by 46.7% on average over BP")
+	return fig, nil
+}
+
+// Figure11 is the PageMove ablation: BP vs UGPU-Ori vs UGPU-Soft vs UGPU.
+func (o Options) Figure11() (Figure, error) {
+	mixes := o.heteroMixes()
+	alone := o.aloneRef()
+	fig := Figure{ID: "Figure 11", Title: "PageMove benefit breakdown (mean STP)"}
+	pols := []core.Policy{core.NewBP(), core.NewUGPUOri(o.Cfg), core.NewUGPUSoft(o.Cfg), core.NewUGPU(o.Cfg)}
+	var labels []string
+	var values []float64
+	for _, pol := range pols {
+		stp, _, err := o.scored(pol, mixes, alone)
+		if err != nil {
+			return Figure{}, err
+		}
+		labels = append(labels, pol.Name())
+		values = append(values, Mean(stp))
+	}
+	fig.Series = []Series{{Name: "mean STP", Labels: labels, Values: values}}
+	fig.Notes = append(fig.Notes,
+		"paper: UGPU-Ori is 16.8% below BP; UGPU-Soft recovers 12.7% over Ori; full UGPU is 34.3% above BP")
+	return fig, nil
+}
+
+// Figure12a reports the fraction of epoch time spent on SM and data
+// migration under UGPU.
+func (o Options) Figure12a() (Figure, error) {
+	mixes := o.heteroMixes()
+	fig := Figure{ID: "Figure 12a", Title: "fraction of epoch time spent on resource reallocation"}
+	var meanS, worstS Series
+	meanS.Name, worstS.Name = "mean fraction", "worst fraction"
+	var means []float64
+	for _, mix := range mixes {
+		res, err := core.RunPolicy(o.Cfg, o.withScale(core.NewUGPU(o.Cfg)), mix)
+		if err != nil {
+			return Figure{}, err
+		}
+		meanS.Labels = append(meanS.Labels, mix.Name)
+		meanS.Values = append(meanS.Values, res.MigFracMean)
+		worstS.Labels = append(worstS.Labels, mix.Name)
+		worstS.Values = append(worstS.Values, res.MigFracWorst)
+		means = append(means, res.MigFracMean)
+		o.logf("  %-22s migfrac mean=%.3f worst=%.3f\n", mix.Name, res.MigFracMean, res.MigFracWorst)
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("overall mean fraction: %.3f (paper: 8.9%% mean, 19.5%% worst case)", Mean(means)))
+	fig.Series = []Series{meanS, worstS}
+	return fig, nil
+}
+
+// Figure12b reports the energy comparison: core/HBM split and the
+// BP-vs-UGPU energy delta.
+func (o Options) Figure12b() (Figure, error) {
+	mixes := o.heteroMixes()
+	model := metrics.DefaultEnergy()
+	fig := Figure{ID: "Figure 12b", Title: "energy: core/HBM split and UGPU vs BP"}
+	var memFrac, memDelta, totalDelta []float64
+	for _, mix := range mixes {
+		bp, err := core.RunPolicy(o.Cfg, o.withScale(core.NewBP()), mix)
+		if err != nil {
+			return Figure{}, err
+		}
+		ug, err := core.RunPolicy(o.Cfg, o.withScale(core.NewUGPU(o.Cfg)), mix)
+		if err != nil {
+			return Figure{}, err
+		}
+		// The paper reports the memory-system energy increase raw (equal
+		// cycle counts; migrations and extra throughput add energy) but the
+		// whole-GPU comparison per unit of work (higher performance lowers
+		// the static/constant energy a workload consumes). Mirror both.
+		eBP, eUG := model.Energy(o.Cfg, bp), model.Energy(o.Cfg, ug)
+		wBP, wUG := float64(totalInstr(bp)), float64(totalInstr(ug))
+		memFrac = append(memFrac, eBP.MemFraction())
+		memDelta = append(memDelta, eUG.HBM/eBP.HBM-1)
+		totalDelta = append(totalDelta, (eUG.Total()/wUG)/(eBP.Total()/wBP)-1)
+	}
+	fig.Series = []Series{
+		{Name: "BP HBM energy fraction", Labels: mixNames(mixes), Values: memFrac},
+		{Name: "UGPU mem energy delta", Labels: mixNames(mixes), Values: memDelta},
+		{Name: "UGPU total energy delta", Labels: mixNames(mixes), Values: totalDelta},
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("means: HBM fraction %.3f (paper 0.116), mem delta %+.3f (paper +0.38), total delta %+.3f (paper -0.071)",
+			Mean(memFrac), Mean(memDelta), Mean(totalDelta)))
+	return fig, nil
+}
+
+func totalInstr(r core.Result) uint64 {
+	var t uint64
+	for _, a := range r.Apps {
+		t += a.Instructions
+	}
+	return t
+}
+
+func mixNames(mixes []workload.Mix) []string {
+	out := make([]string, len(mixes))
+	for i, m := range mixes {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Figure13 compares UGPU against BP and BP(CD-Search).
+func (o Options) Figure13() (Figure, error) {
+	mixes := o.heteroMixes()
+	alone := o.aloneRef()
+	fig := Figure{ID: "Figure 13", Title: "STP/ANTT vs BP(CD-Search)"}
+	type entry struct {
+		name string
+		mk   func() core.Policy
+	}
+	for _, e := range []entry{
+		{"BP", func() core.Policy { return core.NewBP() }},
+		{"BP(CD-Search)", func() core.Policy { return core.NewCDSearch(o.Cfg) }},
+		{"UGPU", func() core.Policy { return core.NewUGPU(o.Cfg) }},
+	} {
+		var stps, antts []float64
+		for _, mix := range mixes {
+			res, err := core.RunPolicy(o.Cfg, o.withScale(e.mk()), mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			ref, err := alone.Table(mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			s, a := metrics.Score(res, ref)
+			stps = append(stps, s)
+			antts = append(antts, a)
+			o.logf("  %-14s %-22s STP=%.3f\n", e.name, mix.Name, s)
+		}
+		fig.Series = append(fig.Series,
+			Series{Name: e.name + " STP", Labels: []string{"mean"}, Values: []float64{Mean(stps)}},
+			Series{Name: e.name + " ANTT", Labels: []string{"mean"}, Values: []float64{Mean(antts)}})
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: BP(CD-Search) is +11.2% STP over BP; UGPU beats BP(CD-Search) by 22.4% STP / 43.6% ANTT")
+	return fig, nil
+}
+
+// Figure14 evaluates four- and eight-program mixes: BP vs UGPU.
+func (o Options) Figure14() (Figure, error) {
+	n := o.Mixes
+	if n <= 0 {
+		n = 4
+	}
+	alone := o.aloneRef()
+	fig := Figure{ID: "Figure 14", Title: "STP/ANTT for 4- and 8-program workloads (means)"}
+	for _, set := range []struct {
+		name  string
+		mixes []workload.Mix
+	}{
+		{"4-program", workload.FourProgramMixes(n, 11)},
+		{"8-program", workload.EightProgramMixes(n, 13)},
+	} {
+		bpSTP, bpANTT, err := o.scored(core.NewBP(), set.mixes, alone)
+		if err != nil {
+			return Figure{}, err
+		}
+		ugSTP, ugANTT, err := o.scored(core.NewUGPU(o.Cfg), set.mixes, alone)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   set.name,
+			Labels: []string{"BP STP", "UGPU STP", "BP ANTT", "UGPU ANTT"},
+			Values: []float64{Mean(bpSTP), Mean(ugSTP), Mean(bpANTT), Mean(ugANTT)},
+		})
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: UGPU improves STP 38.3% (4-program) and 30.3% (8-program) over BP")
+	return fig, nil
+}
+
+// Figure15 evaluates the AI workload mixes.
+func (o Options) Figure15() (Figure, error) {
+	mixes := workload.AIMixes()
+	if o.Mixes > 0 && o.Mixes < len(mixes) {
+		mixes = mixes[:o.Mixes]
+	}
+	alone := o.aloneRef()
+	bpSTP, bpANTT, err := o.scored(core.NewBP(), mixes, alone)
+	if err != nil {
+		return Figure{}, err
+	}
+	ugSTP, ugANTT, err := o.scored(core.NewUGPU(o.Cfg), mixes, alone)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:    "Figure 15",
+		Title: "STP/ANTT for AI workloads (means)",
+		Series: []Series{{
+			Name:   "AI mixes",
+			Labels: []string{"BP STP", "UGPU STP", "BP ANTT", "UGPU ANTT"},
+			Values: []float64{Mean(bpSTP), Mean(ugSTP), Mean(bpANTT), Mean(ugANTT)},
+		}},
+		Notes: []string{"paper: UGPU improves STP 39.4% and ANTT 57.6% over BP for AI workloads"},
+	}, nil
+}
+
+// Figure16 evaluates QoS support: the high-priority (compute-bound) app has
+// a 0.75 normalized-progress target under MPS, BP and UGPU.
+func (o Options) Figure16() (Figure, error) {
+	const target = 0.75
+	mixes := o.heteroMixes()
+	alone := o.aloneRef()
+	fig := Figure{ID: "Figure 16", Title: "QoS support: high-priority NP and STP (means)"}
+
+	// High-priority app first: reorder each mix so the compute-bound app is
+	// app 0 (the paper designates the compute-bound app as high priority).
+	qosMixes := make([]workload.Mix, len(mixes))
+	for i, m := range mixes {
+		apps := append([]workload.Benchmark(nil), m.Apps...)
+		if apps[0].Class != workload.ComputeBound {
+			apps[0], apps[1] = apps[1], apps[0]
+		}
+		qosMixes[i] = workload.Mix{Name: apps[0].Abbr + "_" + apps[1].Abbr, Apps: apps, Hetero: true}
+	}
+
+	type entry struct {
+		name string
+		mk   func(mix workload.Mix) (core.Policy, error)
+	}
+	cases := []entry{
+		{"MPS", func(workload.Mix) (core.Policy, error) { return core.NewMPSQoS(o.Cfg), nil }},
+		{"BP", func(workload.Mix) (core.Policy, error) { return core.NewBPQoS(), nil }},
+		{"UGPU", func(mix workload.Mix) (core.Policy, error) {
+			ref, err := alone.Table(mix)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewUGPUQoS(o.Cfg, ref, target), nil
+		}},
+	}
+	for _, c := range cases {
+		var nps, stps []float64
+		violations := 0
+		for _, mix := range qosMixes {
+			pol, err := c.mk(mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			ref, err := alone.Table(mix)
+			if err != nil {
+				return Figure{}, err
+			}
+			stp, _ := metrics.Score(res, ref)
+			np := metrics.NP(res.Apps[0].IPC, ref[0])
+			nps = append(nps, np)
+			stps = append(stps, stp)
+			if np < target*0.97 {
+				violations++
+			}
+			o.logf("  %-5s %-22s NP=%.3f STP=%.3f\n", c.name, mix.Name, np, stp)
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   c.name,
+			Labels: []string{"mean NP", "mean STP", "violations"},
+			Values: []float64{Mean(nps), Mean(stps), float64(violations)},
+		})
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: BP and UGPU always meet the 0.75 NP target; MPS violates it for some mixes; UGPU STP is +33.7% over BP")
+	return fig, nil
+}
+
+// MigrationMicro reproduces the Section 4.5 microbenchmark: page migration
+// latency per mode on an idle memory system, and the MIGRATION command
+// count per page.
+func (o Options) MigrationMicro() (Figure, error) {
+	cfg := o.Cfg
+	mapper := addr.NewCustomMapper(cfg)
+	fig := Figure{ID: "Sec 4.5", Title: "page migration microbenchmark (idle system)"}
+	var labels []string
+	var lat []float64
+	for _, mc := range []struct {
+		name string
+		mode dram.MigrationMode
+	}{
+		{"PPMM", dram.ModePPMM},
+		{"read/write", dram.ModeReadWrite},
+		{"cross-stack", dram.ModeCrossStack},
+	} {
+		h := dram.New(cfg, 1)
+		src := mapper.PageLines(mapper.FrameBase(0, 0))
+		dst := mapper.PageLines(mapper.FrameBase(1, 0))
+		if mc.mode == dram.ModeCrossStack {
+			for i := range dst {
+				dst[i].Stack = (dst[i].Stack + 1) % cfg.NumStacks
+			}
+		}
+		var done uint64
+		pending := 1
+		if err := h.StartMigration(0, src, dst, mc.mode, 0, func(c uint64) { done = c; pending-- }); err != nil {
+			return Figure{}, err
+		}
+		for c := uint64(0); pending > 0 && c < 1_000_000; c++ {
+			h.Tick(c)
+		}
+		labels = append(labels, mc.name)
+		lat = append(lat, float64(done))
+	}
+	fig.Series = []Series{{Name: "page migration cycles", Labels: labels, Values: lat}}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("one page = %d MIGRATION commands over 16 parallel (stack, bank-group) units; MIGRATION latency %d cycles",
+			cfg.LinesPerPage(), cfg.MigrationCycles),
+		"paper: ~40 GPU cycles per MIGRATION, 32 commands per page, 4 bank groups in parallel")
+	return fig, nil
+}
+
+// PageSizeSensitivity reruns the headline comparison at 4/8/16 KB pages
+// (Section 5's sensitivity analysis).
+func (o Options) PageSizeSensitivity() (Figure, error) {
+	pvc, _ := workload.ByAbbr("PVC")
+	dxtc, _ := workload.ByAbbr("DXTC")
+	mix := workload.Mix{Name: "PVC_DXTC", Apps: []workload.Benchmark{pvc, dxtc}, Hetero: true}
+	fig := Figure{ID: "Sec 6 sensitivity", Title: "UGPU/BP STP ratio vs page size"}
+	var labels []string
+	var ratio []float64
+	for _, page := range []int{4096, 8192, 16384} {
+		op := o
+		op.Cfg.PageBytes = page
+		alone := op.aloneRef()
+		ref, err := alone.Table(mix)
+		if err != nil {
+			return Figure{}, err
+		}
+		bp, err := core.RunPolicy(op.Cfg, op.withScale(core.NewBP()), mix)
+		if err != nil {
+			return Figure{}, err
+		}
+		ug, err := core.RunPolicy(op.Cfg, op.withScale(core.NewUGPU(op.Cfg)), mix)
+		if err != nil {
+			return Figure{}, err
+		}
+		bpSTP, _ := metrics.Score(bp, ref)
+		ugSTP, _ := metrics.Score(ug, ref)
+		labels = append(labels, fmt.Sprintf("%dKB", page/1024))
+		ratio = append(ratio, ugSTP/bpSTP)
+		o.logf("  page %dKB: BP %.3f UGPU %.3f\n", page/1024, bpSTP, ugSTP)
+	}
+	fig.Series = []Series{{Name: "UGPU STP / BP STP", Labels: labels, Values: ratio}}
+	fig.Notes = append(fig.Notes, "paper: the PageMove idea works across page sizes")
+	return fig, nil
+}
+
+// Table2Profiles runs every benchmark solo and reports its simulated APKI,
+// LLC hit rate and classification next to the Table 2 reference MPKI.
+func (o Options) Table2Profiles() (Figure, error) {
+	fig := Figure{ID: "Table 2", Title: "benchmark profiles: simulated APKI vs paper MPKI"}
+	bw := core.BandwidthFor(o.Cfg)
+	var apki, table, class Series
+	apki.Name, table.Name, class.Name = "simulated APKI", "paper MPKI", "memory-bound (1=yes)"
+	for _, b := range workload.Table2() {
+		// Profile at the balanced-partition operating point (half the GPU:
+		// 40 SMs, 4 channel groups) — the allocation at which the paper's
+		// bandwidth-demand classification decides reallocation direction.
+		ids := make([]int, o.Cfg.ChannelGroups()/2)
+		for i := range ids {
+			ids[i] = i
+		}
+		g, err := gpu.New(o.Cfg, []gpu.AppSpec{{Bench: b, SMs: o.Cfg.NumSMs / 2, Groups: ids}}, o.gpuOptions())
+		if err != nil {
+			return Figure{}, err
+		}
+		g.Run(uint64(o.Cfg.MaxCycles))
+		st := g.EndEpoch()[0]
+		p := core.ProfileOf(st)
+		apki.Labels = append(apki.Labels, b.Abbr)
+		apki.Values = append(apki.Values, st.APKI())
+		table.Labels = append(table.Labels, b.Abbr)
+		table.Values = append(table.Values, b.TableMPKI)
+		class.Labels = append(class.Labels, b.Abbr)
+		v := 0.0
+		if bw.MemoryBound(p) {
+			v = 1
+		}
+		class.Values = append(class.Values, v)
+		o.logf("  %-8s APKI=%7.2f H=%.2f class=%v (table MPKI %.2f, %v)\n",
+			b.Abbr, st.APKI(), st.HitRate(), bw.MemoryBound(p), b.TableMPKI, b.Class)
+	}
+	fig.Series = []Series{apki, table, class}
+	fig.Notes = append(fig.Notes,
+		"simulated APKI is per warp-instruction and higher than the paper's MPKI in absolute terms; the ordering and classification must match")
+	return fig, nil
+}

@@ -1,0 +1,86 @@
+package gpu
+
+// Timer wheel for delayed simulation events. Nearly all latencies in the
+// model are below the wheel horizon (32768 cycles covers the 28000-cycle
+// page-fault delay); later events spill into an overflow slice that is
+// scanned only when its earliest deadline is due.
+
+const wheelSize = 1 << 15 // must be a power of two
+
+type wheelEvent struct {
+	at uint64
+	fn func(cycle uint64)
+}
+
+type wheel struct {
+	buckets  [wheelSize][]wheelEvent
+	overflow []wheelEvent
+	overMin  uint64
+	pending  int
+}
+
+// schedule runs fn at cycle `at` (or immediately on the current tick if at
+// <= now).
+func (w *wheel) schedule(now, at uint64, fn func(uint64)) {
+	if at < now {
+		at = now
+	}
+	w.pending++
+	if at-now < wheelSize {
+		idx := at & (wheelSize - 1)
+		w.buckets[idx] = append(w.buckets[idx], wheelEvent{at: at, fn: fn})
+		return
+	}
+	if len(w.overflow) == 0 || at < w.overMin {
+		w.overMin = at
+	}
+	w.overflow = append(w.overflow, wheelEvent{at: at, fn: fn})
+}
+
+// run fires every event due at exactly this cycle. It must be called every
+// cycle in order. Handlers may schedule further events, including at the
+// current cycle; the bucket is re-scanned until it stabilises.
+func (w *wheel) run(cycle uint64) {
+	idx := cycle & (wheelSize - 1)
+	for len(w.buckets[idx]) > 0 {
+		b := w.buckets[idx]
+		w.buckets[idx] = nil
+		fired := false
+		for _, ev := range b {
+			if ev.at == cycle {
+				w.pending--
+				ev.fn(cycle)
+				fired = true
+			} else {
+				w.buckets[idx] = append(w.buckets[idx], ev)
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	if len(w.overflow) > 0 && cycle+wheelSize-1 >= w.overMin {
+		w.drainOverflow(cycle)
+	}
+}
+
+func (w *wheel) drainOverflow(cycle uint64) {
+	keep := w.overflow[:0]
+	var newMin uint64 = ^uint64(0)
+	for _, ev := range w.overflow {
+		if ev.at-cycle < wheelSize {
+			idx := ev.at & (wheelSize - 1)
+			w.buckets[idx] = append(w.buckets[idx], ev)
+		} else {
+			if ev.at < newMin {
+				newMin = ev.at
+			}
+			keep = append(keep, ev)
+		}
+	}
+	w.overflow = keep
+	w.overMin = newMin
+}
+
+// Pending reports outstanding events (for draining).
+func (w *wheel) Pending() int { return w.pending }

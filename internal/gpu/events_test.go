@@ -1,0 +1,122 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWheelFiresInOrder(t *testing.T) {
+	var w wheel
+	var fired []uint64
+	for _, at := range []uint64{5, 3, 9, 3} {
+		a := at
+		w.schedule(0, a, func(c uint64) { fired = append(fired, c) })
+	}
+	for c := uint64(0); c <= 10; c++ {
+		w.run(c)
+	}
+	want := []uint64{3, 3, 5, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d", w.Pending())
+	}
+}
+
+func TestWheelPastEventsClampToNow(t *testing.T) {
+	var w wheel
+	fired := false
+	w.schedule(10, 5, func(c uint64) {
+		if c != 10 {
+			t.Errorf("past event fired at %d, want clamped to 10", c)
+		}
+		fired = true
+	})
+	w.run(10)
+	if !fired {
+		t.Error("past event never fired")
+	}
+}
+
+func TestWheelHandlerSchedulesSameCycle(t *testing.T) {
+	// A handler scheduling another event at the current cycle must see it
+	// fire in the same run call (the bucket re-scan).
+	var w wheel
+	order := []int{}
+	w.schedule(0, 4, func(c uint64) {
+		order = append(order, 1)
+		w.schedule(c, c, func(uint64) { order = append(order, 2) })
+	})
+	for c := uint64(0); c <= 5; c++ {
+		w.run(c)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestWheelFarFutureOverflow(t *testing.T) {
+	var w wheel
+	var fired []uint64
+	w.schedule(0, wheelSize*3+17, func(c uint64) { fired = append(fired, c) })
+	w.schedule(0, 2, func(c uint64) { fired = append(fired, c) })
+	for c := uint64(0); c <= wheelSize*3+20; c++ {
+		w.run(c)
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != wheelSize*3+17 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestWheelWrapCollision(t *testing.T) {
+	// Two events in the same bucket but different wraps must fire at their
+	// own cycles.
+	var w wheel
+	var fired []uint64
+	w.schedule(0, 7, func(c uint64) { fired = append(fired, c) })
+	w.schedule(0, 7+wheelSize-1, func(c uint64) { fired = append(fired, c) }) // within horizon, different bucket
+	w.schedule(7, 7+wheelSize, func(c uint64) { fired = append(fired, c) })   // same bucket, next wrap (overflow path)
+	for c := uint64(0); c <= 7+wheelSize; c++ {
+		w.run(c)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3 (%v)", len(fired), fired)
+	}
+	if fired[0] != 7 || fired[1] != 7+wheelSize-1 || fired[2] != 7+wheelSize {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestWheelStress(t *testing.T) {
+	var w wheel
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	expected := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		at := uint64(rng.Intn(3 * wheelSize))
+		expected[at]++
+		w.schedule(0, at, func(c uint64) {
+			if expected[c] <= 0 {
+				t.Fatalf("unexpected event at %d", c)
+			}
+			expected[c]--
+		})
+	}
+	for c := uint64(0); c <= 3*wheelSize; c++ {
+		w.run(c)
+	}
+	for at, left := range expected {
+		if left != 0 {
+			t.Fatalf("%d events at cycle %d never fired", left, at)
+		}
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after drain", w.Pending())
+	}
+}

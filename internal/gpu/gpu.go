@@ -1,0 +1,456 @@
+// Package gpu assembles the full multitasking GPU: SMs with private L1
+// caches and L1 TLBs, a crossbar NoC, LLC slices bound to memory channels,
+// the HBM memory system with PageMove, a shared L2 TLB with page table
+// walker, and the virtual memory manager.
+//
+// The package enforces GPU-slice isolation: each application owns a set of
+// SMs and a set of memory channel groups; its pages (and therefore its LLC
+// slices and DRAM bandwidth) are confined to those groups. Reallocation
+// primitives (MoveSMs, SetGroups) implement Section 3.3's SM
+// draining/switching and Section 4.4's memory-channel reallocation with
+// fault-driven plus background page migration. Policies in internal/core
+// drive these primitives at epoch boundaries.
+package gpu
+
+import (
+	"fmt"
+
+	"ugpu/internal/addr"
+	"ugpu/internal/cache"
+	"ugpu/internal/config"
+	"ugpu/internal/dram"
+	"ugpu/internal/noc"
+	"ugpu/internal/sm"
+	"ugpu/internal/tlb"
+	"ugpu/internal/vm"
+	"ugpu/internal/workload"
+)
+
+// MaxApps bounds concurrently resident applications (the evaluation goes up
+// to eight-program workloads).
+const MaxApps = 8
+
+// Options select policy-dependent mechanisms.
+type Options struct {
+	// MigrationMode is how pages are copied between channels: ModePPMM for
+	// UGPU, ModeReadWrite for UGPU-Soft, ModeCrossStack for UGPU-Ori.
+	MigrationMode dram.MigrationMode
+	// OriReshuffle marks an app's whole footprint for migration whenever
+	// its channel groups change (the traditional-mapping UGPU-Ori cost).
+	OriReshuffle bool
+	// DisableMigration freezes page placement: accesses to pages outside
+	// the allowed groups proceed in place (used by MPS, where channels are
+	// shared and pages never move).
+	DisableMigration bool
+	// CheckReads samples returned loads and validates page content tags
+	// (1/256 loads); tests enable it.
+	CheckReads bool
+	// ScrubBatch bounds background migrations started per scrub interval.
+	ScrubBatch int
+	// FootprintScale divides Table 2 footprints (DESIGN.md scaling).
+	FootprintScale int
+}
+
+// DefaultOptions returns the UGPU-with-PageMove configuration: fault-driven
+// migration only, as in the paper (set ScrubBatch > 0 to add the background
+// scrubber extension).
+func DefaultOptions() Options {
+	return Options{
+		MigrationMode:  dram.ModePPMM,
+		FootprintScale: 16,
+	}
+}
+
+// AppSpec describes one co-running application.
+type AppSpec struct {
+	Bench  workload.Benchmark
+	SMs    int   // initial SM count
+	Groups []int // initial channel groups
+}
+
+// App is the runtime state of one application.
+type App struct {
+	ID    int
+	Bench workload.Benchmark
+	Disp  *workload.Dispatcher
+	smApp *sm.App
+
+	SMs     []int // owned SM ids (draining SMs stay with the old owner)
+	inbound int   // SMs in flight toward this app (drain/switch pending)
+	Groups  []int
+
+	// Cumulative counters.
+	TotalInstr uint64
+
+	// Epoch baselines (set by EndEpoch).
+	baseLLCAcc uint64
+	baseLLCHit uint64
+	baseDRAM   uint64
+
+	llcAcc uint64
+	llcHit uint64
+}
+
+// memReq is one in-flight L1 miss travelling through NoC, LLC, and DRAM.
+type memReq struct {
+	app int
+	sm  int
+	pa  uint64
+	vpn uint64
+}
+
+// llcSlice is one LLC slice with its MSHR and retry queues.
+type llcSlice struct {
+	cache  *cache.Cache
+	mshr   *cache.MSHR
+	parked []*memReq       // waiting for an MSHR entry
+	toDram []*dram.Request // waiting for DRAM queue space
+}
+
+// EpochStats is one application's profile over the last epoch, the inputs
+// to the demand-aware algorithm (Equations 1-2).
+type EpochStats struct {
+	App          int
+	Cycles       uint64
+	Instructions uint64
+	LLCAccesses  uint64
+	LLCHits      uint64
+	DRAMLines    uint64
+	SMs          int
+	Groups       int
+}
+
+// APKI is LLC accesses per kilo (warp) instruction.
+func (e EpochStats) APKI() float64 {
+	if e.Instructions == 0 {
+		return 0
+	}
+	return float64(e.LLCAccesses) * 1000 / float64(e.Instructions)
+}
+
+// HitRate is the LLC hit rate.
+func (e EpochStats) HitRate() float64 {
+	if e.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(e.LLCHits) / float64(e.LLCAccesses)
+}
+
+// IPC is instructions per cycle over the epoch.
+func (e EpochStats) IPC() float64 {
+	if e.Cycles == 0 {
+		return 0
+	}
+	return float64(e.Instructions) / float64(e.Cycles)
+}
+
+// GPU is the simulated device.
+type GPU struct {
+	cfg    config.Config
+	opt    Options
+	mapper *addr.CustomMapper
+
+	sms     []*sm.SM
+	smL1    []*cache.Cache
+	smMSHR  []*cache.MSHR
+	smL1TLB []*tlb.TLB
+	smBase  []uint64 // per-SM instruction baseline for epoch attribution
+
+	l2tlb  *tlb.TLB
+	walker *tlb.Walker
+
+	reqNet *noc.Crossbar
+	rspNet *noc.Crossbar
+
+	slices []*llcSlice
+	hbm    *dram.HBM
+	vmm    *vm.Manager
+
+	apps []*App
+
+	cycle      uint64
+	epochStart uint64
+	wheel      wheel
+
+	// Merged in-flight translations: key -> accesses awaiting the result.
+	transPending map[uint64][]migWaiter
+	replayQ      [][]replayReq // per SM: accesses parked on a full L1 MSHR
+
+	// Migration orchestration.
+	migInFlight map[uint64]bool
+	migQueue    []migJobReq
+	migActive   int
+	reconfigSMs int
+
+	// Per-epoch reallocation-overhead accounting (Figure 12a).
+	dataMigCycles uint64
+	smMigCycles   uint64
+
+	// Correctness sampling.
+	checkTick uint64
+
+	// transVersion invalidates per-warp translation filters on any page
+	// migration or channel reallocation.
+	transVersion uint64
+
+	pageShift uint
+	lineShift uint
+
+	stats Totals
+}
+
+// Totals aggregates whole-run counters.
+type Totals struct {
+	Loads               uint64
+	L1Hits              uint64
+	TLBL1Hits           uint64
+	FaultMigrations     uint64 // blocking (mandatory) fault-driven migrations
+	RebalanceMigrations uint64 // non-blocking inbound rebalance migrations
+	ScrubMigrations     uint64 // background scrubber migrations (extension)
+	ChecksSampled       uint64
+}
+
+type migWaiter struct {
+	sm  int
+	va  uint64
+	w   *sm.Warp
+	app int
+}
+
+// replayReq is a post-translation access parked on a full L1 MSHR.
+type replayReq struct {
+	app int
+	pa  uint64
+	vpn uint64
+	w   *sm.Warp
+}
+
+// migJobReq is a queued page-migration request at the driver.
+type migJobReq struct {
+	app int
+	vpn uint64
+}
+
+func log2of(v int) uint {
+	s := uint(0)
+	for 1<<s < v {
+		s++
+	}
+	return s
+}
+
+// New builds a GPU with the given co-running applications. The specs' SM
+// counts must sum to at most cfg.NumSMs and their group sets must be
+// disjoint unless sharing is intended (MPS shares all groups).
+func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 || len(specs) > MaxApps {
+		return nil, fmt.Errorf("gpu: %d applications, want 1..%d", len(specs), MaxApps)
+	}
+	if opt.FootprintScale <= 0 {
+		opt.FootprintScale = 16
+	}
+	total := 0
+	for _, s := range specs {
+		total += s.SMs
+		if s.SMs <= 0 {
+			return nil, fmt.Errorf("gpu: app needs at least one SM")
+		}
+		if len(s.Groups) == 0 {
+			return nil, fmt.Errorf("gpu: app needs at least one channel group")
+		}
+	}
+	if total > cfg.NumSMs {
+		return nil, fmt.Errorf("gpu: %d SMs requested, only %d exist", total, cfg.NumSMs)
+	}
+
+	mapper := addr.NewCustomMapper(cfg)
+	g := &GPU{
+		cfg:          cfg,
+		opt:          opt,
+		mapper:       mapper,
+		sms:          make([]*sm.SM, cfg.NumSMs),
+		smL1:         make([]*cache.Cache, cfg.NumSMs),
+		smMSHR:       make([]*cache.MSHR, cfg.NumSMs),
+		smL1TLB:      make([]*tlb.TLB, cfg.NumSMs),
+		smBase:       make([]uint64, cfg.NumSMs),
+		l2tlb:        tlb.New(cfg.L2TLBEntries/cfg.L2TLBWays, cfg.L2TLBWays),
+		walker:       tlb.NewWalker(cfg.PTWThreads, cfg.PTWLevels, cfg.PTWStepLatency),
+		reqNet:       noc.New(cfg.NumSMs, cfg.LLCSlices, cfg.NoCLinkBytes, cfg.NoCLatency),
+		rspNet:       noc.New(cfg.LLCSlices, cfg.NumSMs, cfg.NoCLinkBytes, cfg.NoCLatency),
+		slices:       make([]*llcSlice, cfg.LLCSlices),
+		hbm:          dram.New(cfg, MaxApps),
+		vmm:          vm.NewManager(cfg, mapper, len(specs)),
+		transPending: make(map[uint64][]migWaiter),
+		replayQ:      make([][]replayReq, cfg.NumSMs),
+		migInFlight:  make(map[uint64]bool),
+		pageShift:    log2of(cfg.PageBytes),
+		lineShift:    log2of(cfg.L1LineBytes),
+	}
+	for i := range g.sms {
+		g.sms[i] = sm.New(i, cfg.TBsPerSM(), cfg.WarpsPerTB, cfg.SchedulersPerSM)
+		g.smL1[i] = cache.New(cfg.L1Sets, cfg.L1Ways, cfg.L1LineBytes)
+		g.smMSHR[i] = cache.NewMSHR(cfg.L1MSHRs, 0)
+		g.smL1TLB[i] = tlb.NewFullyAssociative(cfg.L1TLBEntries)
+	}
+	for i := range g.slices {
+		g.slices[i] = &llcSlice{
+			cache: cache.New(cfg.LLCSets, cfg.LLCWays, cfg.L1LineBytes),
+			mshr:  cache.NewMSHR(cfg.QueueEntries, 0),
+		}
+	}
+
+	nextSM := 0
+	for id, spec := range specs {
+		app := &App{
+			ID:     id,
+			Bench:  spec.Bench,
+			Disp:   workload.NewDispatcher(spec.Bench, opt.FootprintScale, cfg.PageBytes),
+			Groups: append([]int(nil), spec.Groups...),
+		}
+		app.smApp = &sm.App{
+			ID:         id,
+			Dispatcher: app.Disp,
+			PageBytes:  cfg.PageBytes,
+			SeedBase:   uint64(cfg.Seed)<<16 + uint64(id+1)*0x7F4A7C15,
+		}
+		g.vmm.SetGroups(id, spec.Groups)
+		// Eager allocation: datasets are mapped at launch; far faults are
+		// out of scope (the evaluation has no memory oversubscription).
+		for vpn := uint64(0); vpn < app.Disp.FootprintPages(); vpn++ {
+			g.vmm.HandleFault(id, vpn)
+		}
+		for i := 0; i < spec.SMs; i++ {
+			app.SMs = append(app.SMs, nextSM)
+			g.sms[nextSM].Assign(0, app.smApp)
+			nextSM++
+		}
+		g.apps = append(g.apps, app)
+	}
+	return g, nil
+}
+
+// Config returns the GPU configuration.
+func (g *GPU) Config() config.Config { return g.cfg }
+
+// Apps returns the runtime application states.
+func (g *GPU) Apps() []*App { return g.apps }
+
+// VM returns the virtual memory manager (read-only use by tests/policies).
+func (g *GPU) VM() *vm.Manager { return g.vmm }
+
+// HBM returns the memory system (read-only use by metrics).
+func (g *GPU) HBM() *dram.HBM { return g.hbm }
+
+// SM returns one SM (tests).
+func (g *GPU) SM(i int) *sm.SM { return g.sms[i] }
+
+// Cycle reports the current simulation cycle.
+func (g *GPU) Cycle() uint64 { return g.cycle }
+
+// Totals returns whole-run aggregate counters.
+func (g *GPU) Totals() Totals { return g.stats }
+
+// Run advances the simulation by n cycles.
+func (g *GPU) Run(n uint64) {
+	end := g.cycle + n
+	for g.cycle < end {
+		g.tick()
+	}
+}
+
+// RunUntil advances to the given absolute cycle.
+func (g *GPU) RunUntil(cycle uint64) {
+	for g.cycle < cycle {
+		g.tick()
+	}
+}
+
+func (g *GPU) tick() {
+	c := g.cycle
+	g.wheel.run(c)
+	g.reqNet.Tick(c)
+	g.walker.Tick(c)
+	g.retrySlices(c)
+	g.hbm.Tick(c)
+	g.rspNet.Tick(c)
+	for _, s := range g.sms {
+		s.Tick(c, g)
+		s.RetryBlocked(c, g)
+	}
+	if c&63 == 0 {
+		g.scrub(c)
+	}
+	if g.migActive > 0 || len(g.migQueue) > 0 || g.hbm.PendingMigrations() > 0 {
+		g.dataMigCycles++
+	}
+	if g.reconfigSMs > 0 {
+		g.smMigCycles++
+	}
+	g.cycle = c + 1
+}
+
+// EndEpoch snapshots per-application profile counters since the previous
+// call and resets the baselines. Policies call it at epoch boundaries.
+func (g *GPU) EndEpoch() []EpochStats {
+	cycles := g.cycle - g.epochStart
+	g.epochStart = g.cycle
+
+	// Attribute SM instruction deltas to the SM's current owner.
+	deltas := make([]uint64, len(g.apps))
+	for i, s := range g.sms {
+		cur := s.Stats().Instructions
+		d := cur - g.smBase[i]
+		g.smBase[i] = cur
+		if id := s.AppID(); id >= 0 && id < len(deltas) {
+			deltas[id] += d
+		}
+	}
+	out := make([]EpochStats, len(g.apps))
+	for i, app := range g.apps {
+		app.TotalInstr += deltas[i]
+		dramStats := g.hbm.AppStatsSnapshot(app.ID)
+		dramLines := dramStats.ReadLines + dramStats.WriteLines
+		out[i] = EpochStats{
+			App:          app.ID,
+			Cycles:       cycles,
+			Instructions: deltas[i],
+			LLCAccesses:  app.llcAcc - app.baseLLCAcc,
+			LLCHits:      app.llcHit - app.baseLLCHit,
+			DRAMLines:    dramLines - app.baseDRAM,
+			SMs:          len(app.SMs),
+			Groups:       len(app.Groups),
+		}
+		app.baseLLCAcc = app.llcAcc
+		app.baseLLCHit = app.llcHit
+		app.baseDRAM = dramLines
+	}
+	return out
+}
+
+// ReallocationOverhead reports cycles spent with data migration and SM
+// reconfiguration in flight since the last call (Figure 12a), then resets.
+func (g *GPU) ReallocationOverhead() (dataMig, smMig uint64) {
+	dataMig, smMig = g.dataMigCycles, g.smMigCycles
+	g.dataMigCycles, g.smMigCycles = 0, 0
+	return dataMig, smMig
+}
+
+// DebugTranslation reports L2 TLB stats and PTW activity (diagnostics).
+func (g *GPU) DebugTranslation() (l2 tlb.Stats, walks uint64, ptwPending int) {
+	return g.l2tlb.Stats(), g.walker.Walks, g.walker.Pending()
+}
+
+// Inbound reports SMs still in flight toward this app (drain/switch).
+func (a *App) Inbound() int { return a.inbound }
+
+// SMActiveCycles sums active cycles over all SMs (energy accounting).
+func (g *GPU) SMActiveCycles() uint64 {
+	var t uint64
+	for _, s := range g.sms {
+		t += s.Stats().ActiveCycles
+	}
+	return t
+}

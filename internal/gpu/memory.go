@@ -1,0 +1,424 @@
+package gpu
+
+// The memory path: SM load -> L1 TLB -> L1 cache -> NoC -> LLC slice ->
+// HBM channel, with the Section 4.4 PageMove hooks on the translation path
+// (channel-allocation check at the L2 TLB, fault-driven page migration).
+
+import (
+	"fmt"
+
+	"ugpu/internal/dram"
+	"ugpu/internal/sm"
+	"ugpu/internal/tlb"
+)
+
+// IssueLoad implements sm.Port. Loads are always accepted; backpressure is
+// modelled by the L1 MSHR replay queue and the warp's outstanding-load
+// bound, so an accepted load always eventually calls w.LoadDone.
+func (g *GPU) IssueLoad(cycle uint64, smID, appID int, va uint64, w *sm.Warp) bool {
+	g.stats.Loads++
+	vpn := va >> g.pageShift
+	off := va & (uint64(g.cfg.PageBytes) - 1)
+
+	// Per-warp one-entry translation filter: consecutive accesses to the
+	// same page skip the TLB lookup entirely.
+	if w.LastValid && w.LastVer == g.transVersion && w.LastVPN == vpn {
+		g.stats.TLBL1Hits++
+		g.l1AccessAsync(cycle, smID, appID, w.LastPA|off, vpn, w)
+		return true
+	}
+	if pa, ok := g.smL1TLB[smID].Lookup(tlb.Key(appID, vpn)); ok {
+		g.stats.TLBL1Hits++
+		w.LastVPN, w.LastPA, w.LastVer, w.LastValid = vpn, pa, g.transVersion, true
+		g.l1AccessAsync(cycle, smID, appID, pa|off, vpn, w)
+		return true
+	}
+	// L1 TLB miss: the access continues asynchronously through the L2 TLB;
+	// it is accepted now and the warp tracks it as outstanding. Concurrent
+	// misses to the same page merge onto one in-flight translation.
+	key := tlb.Key(appID, vpn)
+	if ws, ok := g.transPending[key]; ok {
+		g.transPending[key] = append(ws, migWaiter{sm: smID, va: va, w: w, app: appID})
+		return true
+	}
+	g.transPending[key] = append(make([]migWaiter, 0, 4), migWaiter{sm: smID, va: va, w: w, app: appID})
+	g.wheel.schedule(cycle, cycle+uint64(g.cfg.L2TLBLatency), func(at uint64) {
+		g.l2Translate(at, appID, vpn)
+	})
+	return true
+}
+
+// l1AccessAsync is the post-translation replay: it cannot reject, so on a
+// full MSHR the access parks in the SM's replay queue, drained as fills
+// free MSHR entries.
+func (g *GPU) l1AccessAsync(cycle uint64, smID, appID int, pa, vpn uint64, w *sm.Warp) {
+	l1 := g.smL1[smID]
+	if l1.Access(pa) {
+		g.stats.L1Hits++
+		g.scheduleWarpDone(cycle, cycle+uint64(g.cfg.L1HitLatency), appID, vpn, w)
+		return
+	}
+	line := pa >> g.lineShift
+	mshr := g.smMSHR[smID]
+	alloc, ok := mshr.Add(line, w)
+	if !ok {
+		g.replayQ[smID] = append(g.replayQ[smID], replayReq{app: appID, pa: pa, vpn: vpn, w: w})
+		return
+	}
+	if alloc {
+		g.sendToLLC(cycle, smID, appID, pa, vpn)
+	}
+}
+
+func (g *GPU) scheduleWarpDone(now, at uint64, appID int, vpn uint64, w *sm.Warp) {
+	g.maybeCheck(appID, vpn)
+	g.wheel.schedule(now, at, func(uint64) { w.LoadDone() })
+}
+
+// maybeCheck samples data-correctness verification (content tags).
+func (g *GPU) maybeCheck(appID int, vpn uint64) {
+	if !g.opt.CheckReads {
+		return
+	}
+	g.checkTick++
+	if g.checkTick&0xFF != 0 {
+		return
+	}
+	g.stats.ChecksSampled++
+	if err := g.vmm.CheckRead(appID, vpn); err != nil {
+		panic(fmt.Sprintf("gpu: data corruption detected: %v", err))
+	}
+}
+
+// sliceOf routes a physical line to its LLC slice: the slices of the line's
+// channel, sub-indexed by a bank-group bit.
+func (g *GPU) sliceOf(pa uint64) int {
+	ch := g.mapper.GlobalChannel(pa)
+	sub := int(pa>>9) & (g.cfg.SlicesPerChannel() - 1)
+	return ch*g.cfg.SlicesPerChannel() + sub
+}
+
+func (g *GPU) sendToLLC(cycle uint64, smID, appID int, pa, vpn uint64) {
+	req := &memReq{app: appID, sm: smID, pa: pa, vpn: vpn}
+	slice := g.sliceOf(pa)
+	g.reqNet.Send(cycle, smID, slice, 32, func(at uint64) {
+		g.llcArrive(at, slice, req)
+	})
+}
+
+func (g *GPU) llcArrive(at uint64, sliceIdx int, req *memReq) {
+	sl := g.slices[sliceIdx]
+	app := g.apps[req.app]
+	app.llcAcc++
+	if sl.cache.Access(req.pa) {
+		app.llcHit++
+		g.replyToSM(at+uint64(g.cfg.LLCLatency), sliceIdx, req)
+		return
+	}
+	line := req.pa >> g.lineShift
+	alloc, ok := sl.mshr.Add(line, req)
+	if !ok {
+		sl.parked = append(sl.parked, req)
+		return
+	}
+	if alloc {
+		g.llcToDram(at, sliceIdx, req)
+	}
+}
+
+func (g *GPU) llcToDram(at uint64, sliceIdx int, req *memReq) {
+	dreq := &dram.Request{
+		Addr:  req.pa,
+		Loc:   g.mapper.Decode(req.pa),
+		AppID: req.app,
+		Done: func(finish uint64, _ *dram.Request) {
+			g.wheel.schedule(g.cycle, finish, func(c uint64) {
+				g.dramFill(c, sliceIdx, req.pa)
+			})
+		},
+	}
+	if !g.hbm.Enqueue(at, dreq) {
+		g.slices[sliceIdx].toDram = append(g.slices[sliceIdx].toDram, dreq)
+	}
+}
+
+func (g *GPU) dramFill(at uint64, sliceIdx int, pa uint64) {
+	sl := g.slices[sliceIdx]
+	sl.cache.Fill(pa)
+	line := pa >> g.lineShift
+	for _, wtr := range sl.mshr.Remove(line) {
+		g.replyToSM(at, sliceIdx, wtr.(*memReq))
+	}
+	g.drainParked(at, sliceIdx, len(sl.parked))
+}
+
+// drainParked re-attempts requests parked on a full LLC MSHR, up to limit.
+func (g *GPU) drainParked(at uint64, sliceIdx int, limit int) {
+	sl := g.slices[sliceIdx]
+	if len(sl.parked) == 0 || limit <= 0 {
+		return
+	}
+	n := 0
+	for ; n < len(sl.parked) && n < limit; n++ {
+		req := sl.parked[n]
+		line := req.pa >> g.lineShift
+		alloc, ok := sl.mshr.Add(line, req)
+		if !ok {
+			break
+		}
+		if alloc {
+			g.llcToDram(at, sliceIdx, req)
+		}
+	}
+	if n > 0 {
+		sl.parked = append(sl.parked[:0], sl.parked[n:]...)
+	}
+}
+
+func (g *GPU) replyToSM(at uint64, sliceIdx int, req *memReq) {
+	// Reply carries one cache line plus header.
+	g.rspNet.Send(at, sliceIdx, req.sm, g.cfg.L1LineBytes+32, func(arr uint64) {
+		g.l1Fill(arr, req)
+	})
+}
+
+func (g *GPU) l1Fill(at uint64, req *memReq) {
+	g.smL1[req.sm].Fill(req.pa)
+	line := req.pa >> g.lineShift
+	for _, wtr := range g.smMSHR[req.sm].Remove(line) {
+		w := wtr.(*sm.Warp)
+		g.maybeCheck(req.app, req.vpn)
+		w.LoadDone()
+	}
+	g.drainReplays(at, req.sm)
+}
+
+// drainReplays re-attempts parked post-translation accesses now that MSHR
+// space freed up.
+func (g *GPU) drainReplays(at uint64, smID int) {
+	q := g.replayQ[smID]
+	if len(q) == 0 {
+		return
+	}
+	mshr := g.smMSHR[smID]
+	n := 0
+	for ; n < len(q) && !mshr.Full(); n++ {
+		r := q[n]
+		g.l1AccessAsyncNoPark(at, smID, r)
+	}
+	g.replayQ[smID] = append(g.replayQ[smID][:0], q[n:]...)
+}
+
+// l1AccessAsyncNoPark is drainReplays' re-attempt; MSHR space was checked.
+func (g *GPU) l1AccessAsyncNoPark(cycle uint64, smID int, r replayReq) {
+	l1 := g.smL1[smID]
+	if l1.Access(r.pa) {
+		g.stats.L1Hits++
+		g.scheduleWarpDone(cycle, cycle+uint64(g.cfg.L1HitLatency), r.app, r.vpn, r.w)
+		return
+	}
+	line := r.pa >> g.lineShift
+	alloc, ok := g.smMSHR[smID].Add(line, r.w)
+	if !ok {
+		g.replayQ[smID] = append(g.replayQ[smID], r)
+		return
+	}
+	if alloc {
+		g.sendToLLC(cycle, smID, r.app, r.pa, r.vpn)
+	}
+}
+
+// retrySlices replays parked LLC work each cycle.
+func (g *GPU) retrySlices(cycle uint64) {
+	spc := g.cfg.SlicesPerChannel()
+	for idx, sl := range g.slices {
+		if len(sl.toDram) > 0 && g.hbm.QueueSpace(idx/spc) > 0 {
+			n := 0
+			for ; n < len(sl.toDram); n++ {
+				if !g.hbm.Enqueue(cycle, sl.toDram[n]) {
+					break
+				}
+			}
+			if n > 0 {
+				sl.toDram = append(sl.toDram[:0], sl.toDram[n:]...)
+			}
+		}
+		g.drainParked(cycle, idx, 4)
+	}
+}
+
+// l2Translate resolves one merged translation at the shared L2 TLB
+// (Section 4.4).
+func (g *GPU) l2Translate(at uint64, appID int, vpn uint64) {
+	key := tlb.Key(appID, vpn)
+	if pa, ok := g.l2tlb.Lookup(key); ok {
+		if !g.opt.DisableMigration && g.vmm.NeedsMigration(appID, vpn, pa) {
+			// Channel-allocation register mismatch: invalidate and fault
+			// to the driver.
+			g.l2tlb.Invalidate(key)
+			g.faultMigrate(at, appID, vpn)
+			return
+		}
+		if !g.opt.DisableMigration && g.vmm.WantsRebalance(appID, vpn, pa) {
+			g.asyncRebalance(at, appID, vpn)
+		}
+		g.resolveTranslation(at, appID, vpn, pa, false)
+		return
+	}
+	g.walker.Enqueue(at, func(done uint64) {
+		pa, ok := g.vmm.Translate(appID, vpn)
+		if !ok {
+			// Demand fault (should not happen with eager allocation, but
+			// kept for completeness): driver allocates a page.
+			g.wheel.schedule(done, done+uint64(g.cfg.DriverDelay), func(c uint64) {
+				npa := g.vmm.HandleFault(appID, vpn)
+				g.resolveTranslation(c, appID, vpn, npa, true)
+			})
+			return
+		}
+		if !g.opt.DisableMigration && g.vmm.NeedsMigration(appID, vpn, pa) {
+			g.faultMigrate(done, appID, vpn)
+			return
+		}
+		if !g.opt.DisableMigration && g.vmm.WantsRebalance(appID, vpn, pa) {
+			g.asyncRebalance(done, appID, vpn)
+		}
+		g.resolveTranslation(done, appID, vpn, pa, true)
+	})
+}
+
+// resolveTranslation installs the translation and replays every merged
+// waiter's L1 access.
+func (g *GPU) resolveTranslation(at uint64, appID int, vpn, pa uint64, fillL2 bool) {
+	key := tlb.Key(appID, vpn)
+	if fillL2 {
+		g.l2tlb.Insert(key, pa)
+	}
+	waiters := g.transPending[key]
+	delete(g.transPending, key)
+	off := uint64(g.cfg.PageBytes) - 1
+	for _, wtr := range waiters {
+		g.smL1TLB[wtr.sm].Insert(key, pa)
+		wtr.w.LastVPN, wtr.w.LastPA, wtr.w.LastVer, wtr.w.LastValid = vpn, pa, g.transVersion, true
+		g.l1AccessAsync(at, wtr.sm, appID, pa|(wtr.va&off), vpn, wtr.w)
+	}
+}
+
+func migKey(appID int, vpn uint64) uint64 { return tlb.Key(appID, vpn) }
+
+// maxConcurrentMigrations bounds page-migration jobs in flight; additional
+// faults queue at the driver (which processes them in order).
+const maxConcurrentMigrations = 8
+
+// faultMigrate stalls the page's merged translation behind a fault-driven
+// migration: the GPU driver (DriverDelay) plans the move, PageMove copies
+// the page, and the waiting accesses replay with the new translation.
+func (g *GPU) faultMigrate(at uint64, appID int, vpn uint64) {
+	k := migKey(appID, vpn)
+	if g.migInFlight[k] {
+		return
+	}
+	g.migInFlight[k] = true
+	g.stats.FaultMigrations++
+	g.wheel.schedule(at, at+uint64(g.cfg.DriverDelay), func(c uint64) {
+		g.migQueue = append(g.migQueue, migJobReq{app: appID, vpn: vpn})
+		g.startQueuedMigrations(c)
+	})
+}
+
+// asyncRebalance queues a non-blocking migration of an accessed page toward
+// newly gained channels (Section 4.4's inbound path). The triggering access
+// proceeds against the old frame; the TLB shootdown at commit repoints
+// later accesses.
+func (g *GPU) asyncRebalance(at uint64, appID int, vpn uint64) {
+	k := migKey(appID, vpn)
+	if g.migInFlight[k] || len(g.migQueue) >= 4*maxConcurrentMigrations {
+		return // driver queue full: skip; a later access retries
+	}
+	g.migInFlight[k] = true
+	g.stats.RebalanceMigrations++
+	g.migQueue = append(g.migQueue, migJobReq{app: appID, vpn: vpn})
+	g.startQueuedMigrations(at)
+}
+
+// startQueuedMigrations begins queued page copies while concurrency allows.
+func (g *GPU) startQueuedMigrations(at uint64) {
+	for g.migActive < maxConcurrentMigrations && len(g.migQueue) > 0 {
+		req := g.migQueue[0]
+		g.migQueue = g.migQueue[1:]
+		appID, vpn := req.app, req.vpn
+		mig := g.vmm.PlanMigration(appID, vpn, -1)
+		if mig == nil {
+			// Already migrated or nothing to move.
+			g.completeMigration(at, appID, vpn)
+			continue
+		}
+		g.migActive++
+		err := g.hbm.StartMigration(at, mig.Src, mig.Dst, g.opt.MigrationMode, appID, func(done uint64) {
+			mig.Commit()
+			g.migActive--
+			g.completeMigration(done, appID, vpn)
+			g.startQueuedMigrations(done)
+		})
+		if err != nil {
+			panic(fmt.Sprintf("gpu: migration start failed: %v", err))
+		}
+	}
+}
+
+// completeMigration performs the TLB shootdown for the moved page and
+// resolves the page's pending translation (waking merged waiters).
+func (g *GPU) completeMigration(at uint64, appID int, vpn uint64) {
+	delete(g.migInFlight, migKey(appID, vpn))
+	key := tlb.Key(appID, vpn)
+	g.l2tlb.Invalidate(key)
+	for _, t := range g.smL1TLB {
+		t.Invalidate(key)
+	}
+	g.transVersion++ // stale per-warp translation filters
+	pa, ok := g.vmm.Translate(appID, vpn)
+	if !ok {
+		panic(fmt.Sprintf("gpu: page app%d/%#x vanished during migration", appID, vpn))
+	}
+	g.resolveTranslation(at, appID, vpn, pa, true)
+}
+
+// scrub starts optional background migrations for pages stranded outside
+// their app's channel groups (and the forced-reshuffle set under
+// OriReshuffle). The paper's design is purely fault-driven (Section 4.4);
+// scrubbing is an extension enabled by Options.ScrubBatch > 0 and evaluated
+// as an ablation.
+func (g *GPU) scrub(cycle uint64) {
+	if g.opt.DisableMigration || g.opt.ScrubBatch <= 0 {
+		return
+	}
+	budget := g.opt.ScrubBatch - g.migActive - len(g.migQueue)
+	if budget <= 0 {
+		return
+	}
+	for _, app := range g.apps {
+		if budget <= 0 {
+			return
+		}
+		vpns := g.vmm.PagesToMigrate(app.ID, budget)
+		if len(vpns) < budget {
+			// Rebalance pages into newly gained (under-used) groups so the
+			// app uses its additional bandwidth without waiting for faults.
+			vpns = append(vpns, g.vmm.ImbalancePages(app.ID, budget-len(vpns))...)
+		}
+		for _, vpn := range vpns {
+			k := migKey(app.ID, vpn)
+			if g.migInFlight[k] {
+				continue
+			}
+			g.migInFlight[k] = true
+			g.stats.ScrubMigrations++
+			g.migQueue = append(g.migQueue, migJobReq{app: app.ID, vpn: vpn})
+			budget--
+			if budget <= 0 {
+				break
+			}
+		}
+	}
+	g.startQueuedMigrations(cycle)
+}

@@ -1,0 +1,189 @@
+// Package metrics implements the evaluation metrics of Section 5: system
+// throughput (STP) and average normalized turnaround time (ANTT), the
+// solo-run IPC references they need, and the event-based energy model used
+// for Figure 12b.
+package metrics
+
+import (
+	"sync"
+
+	"ugpu/internal/config"
+	"ugpu/internal/core"
+	"ugpu/internal/gpu"
+	"ugpu/internal/workload"
+)
+
+// STP is Equation 3: the sum of per-application normalized progress
+// (higher is better; n co-running apps can reach at most n).
+func STP(ipc, alone []float64) float64 {
+	s := 0.0
+	for i := range ipc {
+		if alone[i] > 0 {
+			s += ipc[i] / alone[i]
+		}
+	}
+	return s
+}
+
+// ANTT is Equation 4: the average per-application slowdown (lower is
+// better; 1 means no slowdown).
+func ANTT(ipc, alone []float64) float64 {
+	if len(ipc) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range ipc {
+		if ipc[i] > 0 {
+			s += alone[i] / ipc[i]
+		}
+	}
+	return s / float64(len(ipc))
+}
+
+// NP is one application's normalized progress.
+func NP(ipc, alone float64) float64 {
+	if alone <= 0 {
+		return 0
+	}
+	return ipc / alone
+}
+
+// AloneIPC measures a benchmark's IPC running alone on the full GPU for the
+// configured MaxCycles — the IPC_alone reference of Equations 3-4. Results
+// are cached per (benchmark, config-shape) so sweeps do not repeat solo
+// runs. It is safe for concurrent use.
+type AloneIPC struct {
+	cfg config.Config
+	opt gpu.Options
+
+	mu    sync.Mutex
+	cache map[string]float64
+}
+
+// NewAloneIPC builds a reference runner for the given configuration.
+func NewAloneIPC(cfg config.Config, opt gpu.Options) *AloneIPC {
+	return &AloneIPC{cfg: cfg, opt: opt, cache: make(map[string]float64)}
+}
+
+// Get returns the benchmark's solo IPC, measuring it on first use.
+func (a *AloneIPC) Get(b workload.Benchmark) (float64, error) {
+	a.mu.Lock()
+	if v, ok := a.cache[b.Abbr]; ok {
+		a.mu.Unlock()
+		return v, nil
+	}
+	a.mu.Unlock()
+
+	groups := make([]int, a.cfg.ChannelGroups())
+	for i := range groups {
+		groups[i] = i
+	}
+	g, err := gpu.New(a.cfg, []gpu.AppSpec{{Bench: b, SMs: a.cfg.NumSMs, Groups: groups}}, a.opt)
+	if err != nil {
+		return 0, err
+	}
+	g.Run(uint64(a.cfg.MaxCycles))
+	st := g.EndEpoch()[0]
+	v := st.IPC()
+
+	a.mu.Lock()
+	a.cache[b.Abbr] = v
+	a.mu.Unlock()
+	return v, nil
+}
+
+// Table returns solo IPCs for every app of a mix.
+func (a *AloneIPC) Table(mix workload.Mix) ([]float64, error) {
+	out := make([]float64, len(mix.Apps))
+	for i, b := range mix.Apps {
+		v, err := a.Get(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Prime stores a precomputed value (tests).
+func (a *AloneIPC) Prime(abbr string, ipc float64) {
+	a.mu.Lock()
+	a.cache[abbr] = ipc
+	a.mu.Unlock()
+}
+
+// Score computes STP and ANTT for a run result.
+func Score(res core.Result, alone []float64) (stp, antt float64) {
+	ipc := make([]float64, len(res.Apps))
+	for i, app := range res.Apps {
+		ipc[i] = app.IPC
+	}
+	return STP(ipc, alone), ANTT(ipc, alone)
+}
+
+// EnergyModel holds per-event energy weights (arbitrary units; Figure 12b
+// uses only relative energy). Defaults are calibrated so the GPU core takes
+// ~88% and the HBM system ~12% of energy for heterogeneous workloads
+// (Section 6.3, citing AccelWattch).
+type EnergyModel struct {
+	SMActiveCycle float64 // dynamic + per-SM static, per active cycle
+	SMIdleCycle   float64 // static of an idle SM
+	CoreStatic    float64 // per cycle: NoC, LLC, scheduler static
+	DRAMActivate  float64
+	DRAMAccess    float64 // per read/write burst
+	DRAMMigration float64 // per MIGRATION command
+	DRAMStatic    float64 // per channel-cycle
+}
+
+// DefaultEnergy returns the calibrated model.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{
+		SMActiveCycle: 1.00,
+		SMIdleCycle:   0.35,
+		CoreStatic:    14.0,
+		DRAMActivate:  3.0,
+		DRAMAccess:    2.0,
+		DRAMMigration: 2.4,
+		DRAMStatic:    0.009,
+	}
+}
+
+// Breakdown is a run's energy split.
+type Breakdown struct {
+	Core      float64
+	HBM       float64
+	Migration float64 // subset of HBM spent on MIGRATION/copy commands
+}
+
+// Total is core plus memory energy.
+func (b Breakdown) Total() float64 { return b.Core + b.HBM }
+
+// MemFraction is the HBM share of total energy.
+func (b Breakdown) MemFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.HBM / t
+}
+
+// Energy computes the breakdown for a run result under the model.
+func (m EnergyModel) Energy(cfg config.Config, res core.Result) Breakdown {
+	totalSMCycles := float64(res.Cycles) * float64(cfg.NumSMs)
+	active := float64(res.SMActiveCycles)
+	if active > totalSMCycles {
+		active = totalSMCycles
+	}
+	idle := totalSMCycles - active
+
+	var b Breakdown
+	b.Core = active*m.SMActiveCycle + idle*m.SMIdleCycle + float64(res.Cycles)*m.CoreStatic
+
+	h := res.HBM
+	b.Migration = float64(h.Migrations) * m.DRAMMigration
+	b.HBM = float64(h.Activates)*m.DRAMActivate +
+		float64(h.Reads+h.Writes)*m.DRAMAccess +
+		b.Migration +
+		float64(res.Cycles)*float64(cfg.NumChannels())*m.DRAMStatic
+	return b
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ugpu/internal/config"
+	"ugpu/internal/core"
+	"ugpu/internal/dram"
+	"ugpu/internal/gpu"
+	"ugpu/internal/workload"
+)
+
+func TestSTPAndANTT(t *testing.T) {
+	ipc := []float64{50, 100}
+	alone := []float64{100, 100}
+	if got := STP(ipc, alone); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("STP = %f, want 1.5", got)
+	}
+	if got := ANTT(ipc, alone); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("ANTT = %f, want 1.5", got)
+	}
+	if got := NP(50, 100); got != 0.5 {
+		t.Errorf("NP = %f, want 0.5", got)
+	}
+}
+
+func TestSTPBounds(t *testing.T) {
+	// With isolation, per-app IPC <= alone IPC, so STP <= n and ANTT >= 1.
+	f := func(a, b uint8) bool {
+		ipc := []float64{float64(a%100) + 1, float64(b%100) + 1}
+		alone := []float64{ipc[0] * 2, ipc[1] * 1.5}
+		stp := STP(ipc, alone)
+		antt := ANTT(ipc, alone)
+		return stp > 0 && stp <= 2 && antt >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	if got := STP([]float64{10}, []float64{0}); got != 0 {
+		t.Errorf("STP with zero alone = %f", got)
+	}
+	if got := ANTT([]float64{0}, []float64{10}); got != 0 {
+		t.Errorf("ANTT with zero ipc = %f", got)
+	}
+	if got := NP(10, 0); got != 0 {
+		t.Errorf("NP with zero alone = %f", got)
+	}
+	if got := ANTT(nil, nil); got != 0 {
+		t.Errorf("ANTT of empty = %f", got)
+	}
+}
+
+func TestAloneIPCCachesAndOrders(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxCycles = 30_000
+	cfg.EpochCycles = 30_000
+	opt := gpu.DefaultOptions()
+	opt.FootprintScale = 64
+	a := NewAloneIPC(cfg, opt)
+
+	dxtc, _ := workload.ByAbbr("DXTC")
+	pvc, _ := workload.ByAbbr("PVC")
+	d1, err := a.Get(dxtc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.Get(pvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute-bound solo IPC near peak; memory-bound far below.
+	if d1 < 100 {
+		t.Errorf("DXTC alone IPC = %.1f, want near 160", d1)
+	}
+	if p1 > d1/2 {
+		t.Errorf("PVC alone IPC = %.1f not well below DXTC %.1f", p1, d1)
+	}
+	// Cached value identical.
+	d2, _ := a.Get(dxtc)
+	if d2 != d1 {
+		t.Errorf("cache miss: %f vs %f", d2, d1)
+	}
+	// Table covers a mix.
+	tab, err := a.Table(workload.Mix{Apps: []workload.Benchmark{pvc, dxtc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab[0] != p1 || tab[1] != d1 {
+		t.Errorf("Table = %v, want [%f %f]", tab, p1, d1)
+	}
+	a.Prime("X", 42)
+	if v, _ := a.Get(workload.Benchmark{Abbr: "X"}); v != 42 {
+		t.Errorf("Prime not honoured: %f", v)
+	}
+}
+
+func TestEnergyBreakdownCalibration(t *testing.T) {
+	// A heterogeneous-like activity profile should land near the paper's
+	// 88%/12% core/HBM split.
+	cfg := config.Default()
+	res := core.Result{
+		Cycles:         1_000_000,
+		SMActiveCycles: 60_000_000, // 75% of 80 SMs active
+		HBM: dram.ChannelStats{
+			Activates: 1_200_000,
+			Reads:     1_500_000,
+			Writes:    100_000,
+		},
+	}
+	b := DefaultEnergy().Energy(cfg, res)
+	if frac := b.MemFraction(); frac < 0.05 || frac > 0.30 {
+		t.Errorf("HBM energy fraction = %.3f, want in [0.05, 0.30] (paper: ~0.12)", frac)
+	}
+	if b.Total() <= 0 {
+		t.Error("non-positive total energy")
+	}
+}
+
+func TestEnergyMigrationComponent(t *testing.T) {
+	cfg := config.Default()
+	base := core.Result{Cycles: 100_000, SMActiveCycles: 4_000_000,
+		HBM: dram.ChannelStats{Reads: 100_000, Activates: 80_000}}
+	withMig := base
+	withMig.HBM.Migrations = 50_000
+	m := DefaultEnergy()
+	b0, b1 := m.Energy(cfg, base), m.Energy(cfg, withMig)
+	if b1.HBM <= b0.HBM {
+		t.Error("migrations did not increase HBM energy")
+	}
+	if b1.Migration <= 0 {
+		t.Error("migration energy not attributed")
+	}
+	if b1.Core != b0.Core {
+		t.Error("migrations changed core energy")
+	}
+}
+
+func TestScore(t *testing.T) {
+	res := core.Result{Apps: []core.AppResult{{IPC: 50}, {IPC: 100}}}
+	stp, antt := Score(res, []float64{100, 100})
+	if math.Abs(stp-1.5) > 1e-9 || math.Abs(antt-1.5) > 1e-9 {
+		t.Errorf("Score = (%f, %f), want (1.5, 1.5)", stp, antt)
+	}
+}

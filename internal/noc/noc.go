@@ -1,0 +1,110 @@
+// Package noc models the GPU interconnect between SMs and LLC slices as a
+// crossbar (the "Xbar" of commercial GPU documentation; Table 1: an 80x64
+// crossbar with 32-byte links).
+//
+// Each message is serialized onto its source port, traverses the switch with
+// a fixed pipeline latency, and is serialized again at the destination port.
+// Ports are independent, so the crossbar is non-blocking across distinct
+// (source, destination) pairs — contention appears only when messages share
+// a port, which is exactly the behaviour the paper relies on (bandwidth
+// isolation between GPU slices that use disjoint SMs and LLC slices).
+package noc
+
+import "container/heap"
+
+// Message delivery callback: invoked when the last flit arrives.
+type deliverFunc func(cycle uint64)
+
+type delivery struct {
+	at uint64
+	fn deliverFunc
+	// seq breaks ties so delivery order is deterministic FIFO.
+	seq uint64
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Stats holds cumulative crossbar counters.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Crossbar is one direction of the NoC (request or reply network).
+type Crossbar struct {
+	latency   uint64
+	linkBytes int
+
+	srcFree []uint64
+	dstFree []uint64
+
+	pending deliveryHeap
+	seq     uint64
+	stats   Stats
+}
+
+// New builds a crossbar with nSrc input ports and nDst output ports.
+func New(nSrc, nDst, linkBytes, latency int) *Crossbar {
+	if nSrc <= 0 || nDst <= 0 || linkBytes <= 0 || latency < 0 {
+		panic("noc: invalid crossbar geometry")
+	}
+	return &Crossbar{
+		latency:   uint64(latency),
+		linkBytes: linkBytes,
+		srcFree:   make([]uint64, nSrc),
+		dstFree:   make([]uint64, nDst),
+	}
+}
+
+// Send injects a message of the given size. deliver is invoked from Tick
+// once the message fully arrives at the destination port. Send never fails:
+// back-pressure is modelled by the returned arrival time, which accounts for
+// port serialization in both directions.
+func (x *Crossbar) Send(cycle uint64, src, dst, bytes int, deliver func(cycle uint64)) uint64 {
+	ser := uint64((bytes + x.linkBytes - 1) / x.linkBytes)
+	if ser == 0 {
+		ser = 1
+	}
+	start := max64(cycle, x.srcFree[src])
+	x.srcFree[src] = start + ser
+	atDst := max64(start+ser+x.latency, x.dstFree[dst])
+	x.dstFree[dst] = atDst + ser
+	arrive := atDst + ser
+	x.stats.Messages++
+	x.stats.Bytes += uint64(bytes)
+	x.seq++
+	heap.Push(&x.pending, delivery{at: arrive, fn: deliver, seq: x.seq})
+	return arrive
+}
+
+// Tick delivers every message whose arrival time has been reached.
+func (x *Crossbar) Tick(cycle uint64) {
+	for len(x.pending) > 0 && x.pending[0].at <= cycle {
+		d := heap.Pop(&x.pending).(delivery)
+		d.fn(d.at)
+	}
+}
+
+// Pending reports undelivered messages (for draining at end of simulation).
+func (x *Crossbar) Pending() int { return len(x.pending) }
+
+// Stats returns a copy of the counters.
+func (x *Crossbar) Stats() Stats { return x.stats }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

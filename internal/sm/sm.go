@@ -1,0 +1,465 @@
+// Package sm models streaming multiprocessors at warp granularity.
+//
+// Each SM holds up to TBsPerSM thread blocks of WarpsPerTB warps. Two GTO
+// (greedy-then-oldest) warp schedulers issue up to one warp instruction each
+// per cycle (Table 1). Memory instructions issue loads through a Port
+// (implemented by the gpu package: L1 TLB, L1 cache, NoC, LLC, HBM); a warp
+// blocks when its outstanding loads reach its memory-level-parallelism
+// bound and wakes when data returns.
+//
+// For UGPU's compute-resource reallocation (Section 3.3) an SM can be
+// drained (resident TBs finish, no refill) or context-switched (immediate
+// stop, cost charged by the controller), then reassigned to another
+// application.
+package sm
+
+import (
+	"fmt"
+
+	"ugpu/internal/workload"
+)
+
+// Port is the SM's view of the memory hierarchy. IssueLoad reports whether
+// the access was accepted this cycle (false on structural hazards such as a
+// full MSHR); rejected accesses are retried by the warp.
+type Port interface {
+	IssueLoad(cycle uint64, smID, appID int, va uint64, w *Warp) bool
+}
+
+// State is the SM occupancy state.
+type State int
+
+const (
+	// Idle SMs have no application assigned.
+	Idle State = iota
+	// Active SMs execute their application's thread blocks.
+	Active
+	// Draining SMs finish resident TBs without refilling (SM draining).
+	Draining
+	// Switching SMs are mid context-switch and issue nothing.
+	Switching
+)
+
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	case Switching:
+		return "switching"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// App binds an application to SMs: its id and TB source.
+type App struct {
+	ID         int
+	Dispatcher *workload.Dispatcher
+	PageBytes  int
+	// SeedBase decorrelates warp streams across SMs and TBs.
+	SeedBase uint64
+}
+
+// Warp is one resident warp.
+type Warp struct {
+	Stream      *workload.WarpStream
+	Outstanding int
+	MaxOut      int
+
+	// LastVPN/LastPA form a one-entry per-warp translation filter the gpu
+	// package uses to shortcut consecutive same-page accesses. LastVer must
+	// match the GPU's global translation version (bumped on any page
+	// migration or reallocation) for the entry to be used.
+	LastVPN   uint64
+	LastPA    uint64
+	LastVer   uint64
+	LastValid bool
+
+	sm          *SM
+	tb          int // TB slot index
+	blocked     bool
+	structStall bool     // blocked on a structural hazard (queued in sm retry list)
+	pending     []uint64 // generated but not-yet-accepted load addresses
+	done        bool
+}
+
+// LoadDone signals one returned load. It may be called with a completion
+// cycle in the future relative to the issuing tick; the warp becomes
+// schedulable again on the next SM tick.
+func (w *Warp) LoadDone() {
+	w.Outstanding--
+	// Unblock MLP-stalled warps even if addresses are still pending: the
+	// scheduler replays them through drainPending on the next pick (a warp
+	// can stall mid-instruction when a divergent access hits the MLP bound).
+	if w.blocked && !w.structStall && w.Outstanding < w.MaxOut {
+		w.unblock()
+	}
+}
+
+func (w *Warp) block() {
+	if !w.blocked {
+		w.blocked = true
+		w.sm.unready++
+	}
+}
+
+func (w *Warp) unblock() {
+	if w.blocked {
+		w.blocked = false
+		w.sm.unready--
+	}
+}
+
+// Stats holds per-SM cumulative counters.
+type Stats struct {
+	Instructions uint64 // warp instructions issued
+	MemInstrs    uint64
+	IssueSlots   uint64 // scheduler slots with an issue
+	ActiveCycles uint64 // cycles with the SM in Active/Draining state
+	StallCycles  uint64 // active cycles with zero issue
+	TBsCompleted uint64
+}
+
+// tbSlot tracks one resident thread block.
+type tbSlot struct {
+	warps    []*Warp
+	liveWarp int
+	valid    bool
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID int
+
+	warpsPerTB int
+	tbSlots    []tbSlot
+	schedulers int
+
+	app   *App
+	state State
+
+	warps   []*Warp // age-ordered resident warps
+	current int     // greedy scheduler position (index into warps)
+	unready int     // warps blocked or done, for O(1) "nothing ready" checks
+	retry   []*Warp // warps with structurally-rejected loads to replay
+
+	switchUntil uint64
+	onFree      func(cycle uint64, s *SM) // drain/switch completion callback
+
+	// tbDurationEMA estimates TB duration in cycles for the drain-vs-
+	// switch decision (Section 3.3).
+	tbDurationEMA float64
+	tbStartCycle  map[int]uint64
+
+	stats   Stats
+	addrBuf []uint64
+}
+
+// New builds an SM with the given geometry.
+func New(id, tbsPerSM, warpsPerTB, schedulers int) *SM {
+	return &SM{
+		ID:           id,
+		warpsPerTB:   warpsPerTB,
+		tbSlots:      make([]tbSlot, tbsPerSM),
+		schedulers:   schedulers,
+		state:        Idle,
+		tbStartCycle: make(map[int]uint64),
+		addrBuf:      make([]uint64, 0, 8),
+	}
+}
+
+// State reports the SM's occupancy state.
+func (s *SM) State() State { return s.state }
+
+// AppID reports the bound application, or -1.
+func (s *SM) AppID() int {
+	if s.app == nil {
+		return -1
+	}
+	return s.app.ID
+}
+
+// Stats returns a copy of the counters.
+func (s *SM) Stats() Stats { return s.stats }
+
+// ResetStats clears per-epoch counters.
+func (s *SM) ResetStats() { s.stats = Stats{} }
+
+// TBDurationEstimate reports the EMA of completed TB durations (0 if no TB
+// has completed yet).
+func (s *SM) TBDurationEstimate() float64 { return s.tbDurationEMA }
+
+// Assign binds an application and fills all TB slots.
+func (s *SM) Assign(cycle uint64, app *App) {
+	s.app = app
+	s.state = Active
+	s.warps = s.warps[:0]
+	s.retry = s.retry[:0]
+	s.current = 0
+	s.unready = 0
+	for i := range s.tbSlots {
+		s.fillTB(cycle, i)
+	}
+}
+
+func (s *SM) fillTB(cycle uint64, slot int) {
+	app := s.app
+	tb := app.Dispatcher.NextTB()
+	slotWarps := make([]*Warp, s.warpsPerTB)
+	for wi := range slotWarps {
+		seed := app.SeedBase ^ uint64(s.ID)<<40 ^ uint64(tb.Launch)<<28 ^ uint64(tb.TBIndex)<<8 ^ uint64(wi) + 1
+		w := &Warp{
+			Stream: app.Dispatcher.NewWarpStream(tb, wi, app.PageBytes, seed),
+			MaxOut: tb.Kernel.MaxOutstanding,
+			sm:     s,
+			tb:     slot,
+		}
+		slotWarps[wi] = w
+		s.warps = append(s.warps, w)
+	}
+	s.tbSlots[slot] = tbSlot{warps: slotWarps, liveWarp: s.warpsPerTB, valid: true}
+	s.tbStartCycle[slot] = cycle
+}
+
+// BeginDrain stops TB refill; onFree fires when the last TB finishes.
+func (s *SM) BeginDrain(cycle uint64, onFree func(cycle uint64, s *SM)) {
+	if s.state == Idle {
+		if onFree != nil {
+			onFree(cycle, s)
+		}
+		return
+	}
+	s.state = Draining
+	s.onFree = onFree
+	if s.residentWarps() == 0 {
+		s.finishFree(cycle)
+	}
+}
+
+// BeginSwitch preempts immediately; the SM is unavailable until readyAt
+// (context save/restore cost computed by the controller), after which
+// onFree fires.
+func (s *SM) BeginSwitch(cycle, readyAt uint64, onFree func(cycle uint64, s *SM)) {
+	s.state = Switching
+	s.onFree = onFree
+	s.switchUntil = readyAt
+	// Drop resident warps: their context is saved and will resume when the
+	// application next gets this SM (modelled as re-dispatching TBs).
+	s.warps = s.warps[:0]
+	s.retry = s.retry[:0]
+	s.unready = 0
+	for i := range s.tbSlots {
+		s.tbSlots[i] = tbSlot{}
+	}
+}
+
+func (s *SM) residentWarps() int {
+	n := 0
+	for _, w := range s.warps {
+		if !w.done {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *SM) finishFree(cycle uint64) {
+	s.state = Idle
+	s.app = nil
+	s.warps = s.warps[:0]
+	s.retry = s.retry[:0]
+	s.unready = 0
+	for i := range s.tbSlots {
+		s.tbSlots[i] = tbSlot{}
+	}
+	if s.onFree != nil {
+		cb := s.onFree
+		s.onFree = nil
+		cb(cycle, s)
+	}
+}
+
+// Tick advances the SM one cycle.
+func (s *SM) Tick(cycle uint64, port Port) {
+	switch s.state {
+	case Idle:
+		return
+	case Switching:
+		if cycle >= s.switchUntil {
+			s.finishFree(cycle)
+		}
+		return
+	}
+	s.stats.ActiveCycles++
+	issued := 0
+	for sched := 0; sched < s.schedulers; sched++ {
+		w := s.pickWarp()
+		if w == nil {
+			break
+		}
+		if s.issue(cycle, w, port) {
+			issued++
+		}
+	}
+	if issued == 0 {
+		s.stats.StallCycles++
+	}
+}
+
+// pickWarp implements GTO: stay on the current warp while it is ready;
+// otherwise take the oldest ready warp. The unready counter makes the
+// all-stalled case O(1), which dominates in memory-bound phases.
+func (s *SM) pickWarp() *Warp {
+	n := len(s.warps)
+	if n == 0 || s.unready >= n {
+		return nil
+	}
+	if s.current < n {
+		if w := s.warps[s.current]; !w.done && !w.blocked {
+			return w
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := s.warps[i]
+		if !w.done && !w.blocked {
+			s.current = i
+			return w
+		}
+	}
+	return nil
+}
+
+// issue runs one warp instruction (or retries its pending loads). It
+// reports whether an issue slot was consumed.
+func (s *SM) issue(cycle uint64, w *Warp, port Port) bool {
+	// Retry loads that were generated earlier but rejected downstream.
+	if len(w.pending) > 0 {
+		s.drainPending(cycle, w, port)
+		return false
+	}
+	addrs := w.Stream.NextInstr(s.addrBuf)
+	s.stats.Instructions++
+	s.stats.IssueSlots++
+	if len(addrs) > 0 {
+		s.stats.MemInstrs++
+		w.pending = append(w.pending, addrs...)
+		s.drainPending(cycle, w, port)
+	}
+	if w.Stream.Done() {
+		w.done = true
+		if !w.blocked {
+			s.unready++ // done warps are permanently unready
+		}
+		s.completeWarp(cycle, w)
+	}
+	return true
+}
+
+func (s *SM) drainPending(cycle uint64, w *Warp, port Port) {
+	for len(w.pending) > 0 {
+		if w.Outstanding >= w.MaxOut {
+			w.block()
+			return
+		}
+		va := w.pending[0]
+		if !port.IssueLoad(cycle, s.ID, s.app.ID, va, w) {
+			// Structural stall: park the warp on the retry list.
+			w.block()
+			if !w.structStall {
+				w.structStall = true
+				s.retry = append(s.retry, w)
+			}
+			return
+		}
+		w.Outstanding++
+		w.pending = w.pending[1:]
+	}
+	if w.Outstanding >= w.MaxOut {
+		w.block()
+		return
+	}
+	w.unblock()
+}
+
+// RetryBlocked replays structurally-rejected loads; the gpu package calls it
+// once per cycle. Only warps parked by a structural hazard are visited.
+func (s *SM) RetryBlocked(cycle uint64, port Port) {
+	if len(s.retry) == 0 {
+		return
+	}
+	still := s.retry[:0]
+	for _, w := range s.retry {
+		if w.done || len(w.pending) == 0 {
+			w.structStall = false
+			continue
+		}
+		w.structStall = false
+		s.drainPending(cycle, w, port)
+		if w.structStall {
+			still = append(still, w)
+		}
+	}
+	s.retry = still
+}
+
+func (s *SM) completeWarp(cycle uint64, w *Warp) {
+	slot := &s.tbSlots[w.tb]
+	slot.liveWarp--
+	if slot.liveWarp > 0 {
+		return
+	}
+	// TB finished.
+	s.stats.TBsCompleted++
+	dur := float64(cycle - s.tbStartCycle[w.tb])
+	if s.tbDurationEMA == 0 {
+		s.tbDurationEMA = dur
+	} else {
+		s.tbDurationEMA = 0.75*s.tbDurationEMA + 0.25*dur
+	}
+	slot.valid = false
+	s.compactWarps()
+	switch s.state {
+	case Active:
+		s.fillTB(cycle, w.tb)
+	case Draining:
+		if s.residentWarps() == 0 {
+			s.finishFree(cycle)
+		}
+	}
+}
+
+// compactWarps removes completed warps from the age list and recomputes the
+// unready counter.
+func (s *SM) compactWarps() {
+	live := s.warps[:0]
+	unready := 0
+	for _, w := range s.warps {
+		if w.done {
+			continue
+		}
+		live = append(live, w)
+		if w.blocked {
+			unready++
+		}
+	}
+	s.warps = live
+	s.unready = unready
+	if s.current >= len(s.warps) {
+		s.current = 0
+	}
+}
+
+// ResidentWarps reports live warps (for tests and occupancy metrics).
+func (s *SM) ResidentWarps() int { return s.residentWarps() }
+
+// InvalidateTranslationFilters clears every resident warp's one-entry
+// translation filter; the gpu package calls it when TLBs are flushed during
+// memory resource reallocation.
+func (s *SM) InvalidateTranslationFilters() {
+	for _, w := range s.warps {
+		w.LastValid = false
+	}
+}

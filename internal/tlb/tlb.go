@@ -1,0 +1,218 @@
+// Package tlb implements the GPU address-translation hierarchy of Figure 9:
+// per-SM L1 TLBs, a shared set-associative L2 TLB, and a page table walker
+// with bounded concurrency (Table 1: 64-entry fully-associative L1 TLBs, a
+// 512-entry 16-way L2 TLB, and a PTW supporting 64 concurrent 4-level
+// walks).
+//
+// TLBs map (application, virtual page) keys to physical page bases. The
+// actual page tables live in the vm package; the Walker models only walk
+// latency and concurrency, completing via callback so the caller can consult
+// the page table and drive fault handling.
+package tlb
+
+import "container/heap"
+
+// Key packs an (app, vpn) pair. Apps are bounded by the 8-program workloads
+// of the evaluation, so 4 bits suffice.
+func Key(app int, vpn uint64) uint64 { return vpn<<4 | uint64(app)&0xF }
+
+// AppOf recovers the application id from a key.
+func AppOf(key uint64) int { return int(key & 0xF) }
+
+// Stats holds cumulative TLB counters.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// TLB is a set-associative translation buffer with LRU replacement. A fully
+// associative TLB is a TLB with one set.
+type TLB struct {
+	sets, ways int
+	keys       []uint64
+	vals       []uint64
+	valid      []bool
+	stamp      []uint64
+	clock      uint64
+	stats      Stats
+}
+
+// New builds a TLB with the given geometry.
+func New(sets, ways int) *TLB {
+	if sets <= 0 || ways <= 0 {
+		panic("tlb: invalid geometry")
+	}
+	n := sets * ways
+	return &TLB{
+		sets: sets, ways: ways,
+		keys: make([]uint64, n), vals: make([]uint64, n),
+		valid: make([]bool, n), stamp: make([]uint64, n),
+	}
+}
+
+// NewFullyAssociative builds a single-set TLB with the given entry count.
+func NewFullyAssociative(entries int) *TLB { return New(1, entries) }
+
+func (t *TLB) setOf(key uint64) int {
+	h := key ^ key>>9
+	return int(h % uint64(t.sets))
+}
+
+// Lookup returns the cached physical page base for key.
+func (t *TLB) Lookup(key uint64) (pa uint64, ok bool) {
+	t.stats.Accesses++
+	t.clock++
+	base := t.setOf(key) * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.keys[base+w] == key {
+			t.stamp[base+w] = t.clock
+			t.stats.Hits++
+			return t.vals[base+w], true
+		}
+	}
+	t.stats.Misses++
+	return 0, false
+}
+
+// Insert caches a translation, evicting the LRU entry of the set if needed.
+func (t *TLB) Insert(key, pa uint64) {
+	t.clock++
+	base := t.setOf(key) * t.ways
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if !t.valid[i] {
+			victim = i
+			oldest = 0
+			break
+		}
+		if t.keys[i] == key {
+			t.vals[i] = pa
+			t.stamp[i] = t.clock
+			return
+		}
+		if t.stamp[i] < oldest {
+			oldest, victim = t.stamp[i], i
+		}
+	}
+	t.keys[victim], t.vals[victim] = key, pa
+	t.valid[victim] = true
+	t.stamp[victim] = t.clock
+}
+
+// Invalidate removes one translation if present.
+func (t *TLB) Invalidate(key uint64) {
+	base := t.setOf(key) * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.keys[base+w] == key {
+			t.valid[base+w] = false
+			return
+		}
+	}
+}
+
+// InvalidateApp removes all translations belonging to one application (used
+// when its memory channels are reallocated).
+func (t *TLB) InvalidateApp(app int) {
+	for i := range t.valid {
+		if t.valid[i] && AppOf(t.keys[i]) == app {
+			t.valid[i] = false
+		}
+	}
+}
+
+// InvalidateAll flushes the TLB (the L1 TLB flush of Section 4.4).
+func (t *TLB) InvalidateAll() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+}
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats clears the counters.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Occupancy reports valid entries (for tests).
+func (t *TLB) Occupancy() int {
+	n := 0
+	for _, v := range t.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// walk is one in-flight or queued page table walk.
+type walk struct {
+	doneAt uint64
+	fn     func(cycle uint64)
+	seq    uint64
+}
+
+type walkHeap []walk
+
+func (h walkHeap) Len() int { return len(h) }
+func (h walkHeap) Less(i, j int) bool {
+	return h[i].doneAt < h[j].doneAt || (h[i].doneAt == h[j].doneAt && h[i].seq < h[j].seq)
+}
+func (h walkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *walkHeap) Push(x any)   { *h = append(*h, x.(walk)) }
+func (h *walkHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Walker models the page table walker: up to `threads` concurrent walks,
+// each taking levels*stepLatency cycles; excess walks queue.
+type Walker struct {
+	threads int
+	latency uint64
+
+	active  walkHeap
+	waiting []func(cycle uint64)
+	seq     uint64
+
+	// Walks holds the cumulative number of walks started.
+	Walks uint64
+}
+
+// NewWalker builds a Walker for a levels-deep page table.
+func NewWalker(threads, levels, stepLatency int) *Walker {
+	if threads <= 0 || levels <= 0 || stepLatency < 0 {
+		panic("tlb: invalid walker parameters")
+	}
+	return &Walker{threads: threads, latency: uint64(levels * stepLatency)}
+}
+
+// Enqueue starts (or queues) a walk; done runs when it completes.
+func (w *Walker) Enqueue(cycle uint64, done func(cycle uint64)) {
+	if len(w.active) < w.threads {
+		w.start(cycle, done)
+		return
+	}
+	w.waiting = append(w.waiting, done)
+}
+
+func (w *Walker) start(cycle uint64, done func(cycle uint64)) {
+	w.seq++
+	w.Walks++
+	heap.Push(&w.active, walk{doneAt: cycle + w.latency, fn: done, seq: w.seq})
+}
+
+// Tick completes finished walks and admits queued ones.
+func (w *Walker) Tick(cycle uint64) {
+	for len(w.active) > 0 && w.active[0].doneAt <= cycle {
+		done := heap.Pop(&w.active).(walk)
+		done.fn(done.doneAt)
+		if len(w.waiting) > 0 {
+			next := w.waiting[0]
+			w.waiting = w.waiting[1:]
+			w.start(cycle, next)
+		}
+	}
+}
+
+// Pending reports active plus queued walks.
+func (w *Walker) Pending() int { return len(w.active) + len(w.waiting) }

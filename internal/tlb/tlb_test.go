@@ -1,0 +1,130 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyPacking(t *testing.T) {
+	f := func(app uint8, vpn uint64) bool {
+		a := int(app % 16)
+		v := vpn >> 4
+		k := Key(a, v)
+		return AppOf(k) == a && k>>4 == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	tb := NewFullyAssociative(4)
+	if _, ok := tb.Lookup(Key(0, 1)); ok {
+		t.Fatal("cold lookup hit")
+	}
+	tb.Insert(Key(0, 1), 0x1000)
+	if pa, ok := tb.Lookup(Key(0, 1)); !ok || pa != 0x1000 {
+		t.Fatalf("Lookup = (%#x, %v), want (0x1000, true)", pa, ok)
+	}
+	// Same VPN, different app must not alias.
+	if _, ok := tb.Lookup(Key(1, 1)); ok {
+		t.Fatal("cross-app TLB aliasing")
+	}
+	s := tb.Stats()
+	if s.Accesses != 3 || s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	tb := NewFullyAssociative(4)
+	tb.Insert(Key(0, 5), 0x1000)
+	tb.Insert(Key(0, 5), 0x2000)
+	if pa, _ := tb.Lookup(Key(0, 5)); pa != 0x2000 {
+		t.Errorf("updated entry = %#x, want 0x2000", pa)
+	}
+	if tb.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1", tb.Occupancy())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	tb := NewFullyAssociative(2)
+	tb.Insert(Key(0, 1), 0x1)
+	tb.Insert(Key(0, 2), 0x2)
+	tb.Lookup(Key(0, 1)) // make entry 1 MRU
+	tb.Insert(Key(0, 3), 0x3)
+	if _, ok := tb.Lookup(Key(0, 1)); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := tb.Lookup(Key(0, 2)); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestInvalidateApp(t *testing.T) {
+	tb := New(16, 4)
+	for vpn := uint64(0); vpn < 30; vpn++ {
+		tb.Insert(Key(0, vpn), vpn)
+		tb.Insert(Key(1, vpn), vpn)
+	}
+	tb.InvalidateApp(0)
+	for vpn := uint64(0); vpn < 30; vpn++ {
+		if _, ok := tb.Lookup(Key(0, vpn)); ok {
+			t.Fatalf("app 0 vpn %d survived InvalidateApp", vpn)
+		}
+	}
+	hits := 0
+	for vpn := uint64(0); vpn < 30; vpn++ {
+		if _, ok := tb.Lookup(Key(1, vpn)); ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("InvalidateApp(0) wiped app 1 entries too")
+	}
+	tb.InvalidateAll()
+	if tb.Occupancy() != 0 {
+		t.Error("entries survived InvalidateAll")
+	}
+}
+
+func TestWalkerLatencyAndConcurrency(t *testing.T) {
+	w := NewWalker(2, 4, 60) // 240-cycle walks, 2 threads
+	var done []uint64
+	for i := 0; i < 3; i++ {
+		w.Enqueue(0, func(c uint64) { done = append(done, c) })
+	}
+	if w.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", w.Pending())
+	}
+	for c := uint64(0); c <= 600; c++ {
+		w.Tick(c)
+	}
+	if len(done) != 3 {
+		t.Fatalf("%d walks completed, want 3", len(done))
+	}
+	if done[0] != 240 || done[1] != 240 {
+		t.Errorf("first two walks done at %d,%d, want 240,240", done[0], done[1])
+	}
+	if done[2] != 480 {
+		t.Errorf("queued walk done at %d, want 480", done[2])
+	}
+	if w.Walks != 3 {
+		t.Errorf("Walks = %d, want 3", w.Walks)
+	}
+}
+
+func TestWalkerManyQueued(t *testing.T) {
+	w := NewWalker(4, 4, 10)
+	n := 0
+	for i := 0; i < 100; i++ {
+		w.Enqueue(0, func(uint64) { n++ })
+	}
+	for c := uint64(0); c <= 2000 && w.Pending() > 0; c++ {
+		w.Tick(c)
+	}
+	if n != 100 {
+		t.Errorf("%d walks completed, want 100", n)
+	}
+}

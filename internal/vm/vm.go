@@ -1,0 +1,496 @@
+// Package vm implements the GPU virtual memory management that PageMove
+// extends (Section 4.4 of the UGPU paper).
+//
+// Each application has its own virtual address space and page table. The
+// GPU driver model keeps, per application, a free physical page list
+// organised by memory channel group (the allocation unit under the
+// customized address mapping) and the page count allocated to each group.
+// Page faults allocate frames from the least-used currently-allocated group.
+//
+// When memory channels are reallocated between applications, pages located
+// on de-allocated groups must migrate to remaining groups, and applications
+// that gained groups migrate pages in to use the new bandwidth. The Manager
+// plans those migrations (source and destination line locations for the
+// dram package) and commits them (page table update, frame recycling) when
+// the copy completes.
+//
+// For end-to-end data correctness checking, every physical frame carries a
+// content tag derived from its owning (application, virtual page). Reads
+// verify the tag; migrations must preserve it.
+package vm
+
+import (
+	"fmt"
+
+	"ugpu/internal/addr"
+	"ugpu/internal/config"
+)
+
+// Stats holds cumulative VM event counters.
+type Stats struct {
+	Faults     uint64 // demand-zero page faults
+	Migrations uint64 // page migrations committed
+	Allocated  uint64 // frames currently allocated
+	Freed      uint64 // frames recycled
+}
+
+// Space is one application's address space and driver-side bookkeeping.
+type Space struct {
+	id        int
+	pageTable map[uint64]uint64     // VPN -> physical page base
+	byGroup   []map[uint64]struct{} // VPNs resident in each channel group
+	groups    []int                 // currently allocated channel groups
+	allowed   []bool                // groups[i] membership test
+	migrating map[uint64]bool       // VPNs with an in-flight migration
+	// pendingAll holds pages that must move even though their group is
+	// still allowed — the traditional-mapping reshuffle of the UGPU-Ori
+	// ablation, where a channel reallocation reorganises the whole
+	// footprint.
+	pendingAll map[uint64]struct{}
+	// rebalancing mirrors Section 4.4's channel-list register state for an
+	// app with newly allocated channels: accesses to pages on over-loaded
+	// groups fault and migrate until page counts balance.
+	rebalancing bool
+}
+
+// Pages reports the number of resident pages.
+func (s *Space) Pages() int { return len(s.pageTable) }
+
+// Groups returns the currently allocated channel groups (shared slice; do
+// not modify).
+func (s *Space) Groups() []int { return s.groups }
+
+// Manager owns all address spaces and physical frame accounting.
+type Manager struct {
+	cfg    config.Config
+	mapper *addr.CustomMapper
+
+	spaces []*Space
+
+	// Frame allocation per channel group: a bump cursor plus a recycle
+	// stack. Frames are global (not per app): ownership is whoever mapped
+	// them.
+	nextFrame []uint64
+	recycled  [][]uint64
+
+	// frameTag maps a physical page base to its content tag; frameOwner to
+	// the owning (app, vpn) for invariant checking.
+	frameTag   map[uint64]uint64
+	frameOwner map[uint64][2]uint64
+
+	stats Stats
+}
+
+// NewManager builds a Manager for the given number of applications. Channel
+// groups must be assigned per app with SetGroups before faults occur.
+func NewManager(cfg config.Config, mapper *addr.CustomMapper, numApps int) *Manager {
+	m := &Manager{
+		cfg:        cfg,
+		mapper:     mapper,
+		spaces:     make([]*Space, numApps),
+		nextFrame:  make([]uint64, cfg.ChannelGroups()),
+		recycled:   make([][]uint64, cfg.ChannelGroups()),
+		frameTag:   make(map[uint64]uint64),
+		frameOwner: make(map[uint64][2]uint64),
+	}
+	for i := range m.spaces {
+		sp := &Space{
+			id:         i,
+			pageTable:  make(map[uint64]uint64),
+			byGroup:    make([]map[uint64]struct{}, cfg.ChannelGroups()),
+			allowed:    make([]bool, cfg.ChannelGroups()),
+			migrating:  make(map[uint64]bool),
+			pendingAll: make(map[uint64]struct{}),
+		}
+		for g := range sp.byGroup {
+			sp.byGroup[g] = make(map[uint64]struct{})
+		}
+		m.spaces[i] = sp
+	}
+	return m
+}
+
+// Space returns an application's address space.
+func (m *Manager) Space(app int) *Space { return m.spaces[app] }
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ContentTag is the deterministic expected tag of (app, vpn); frames must
+// always carry the tag of their current owner page.
+func ContentTag(app int, vpn uint64) uint64 {
+	x := uint64(app+1)*0x9E3779B97F4A7C15 ^ vpn*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return x
+}
+
+// SetGroups assigns the application's channel groups. It does not migrate
+// anything by itself: callers use PagesOutside and PlanMigration to drain
+// pages from de-allocated groups (lazily on access or via a background
+// scrubber, Section 4.4).
+func (m *Manager) SetGroups(app int, groups []int) {
+	sp := m.spaces[app]
+	sp.groups = append(sp.groups[:0], groups...)
+	for i := range sp.allowed {
+		sp.allowed[i] = false
+	}
+	for _, g := range groups {
+		sp.allowed[g] = true
+	}
+}
+
+// Translate looks up a virtual page. ok is false on a page-table miss.
+func (m *Manager) Translate(app int, vpn uint64) (pa uint64, ok bool) {
+	pa, ok = m.spaces[app].pageTable[vpn]
+	return pa, ok
+}
+
+// InAllowedGroup reports whether a physical page lies in one of the
+// application's currently allocated channel groups — the check the L2 TLB's
+// channel-allocation register performs in Section 4.4.
+func (m *Manager) InAllowedGroup(app int, pa uint64) bool {
+	return m.spaces[app].allowed[m.mapper.ChannelGroup(pa)]
+}
+
+// leastUsedGroup picks the allocated group holding the fewest of the app's
+// pages — the paper's "allocating physical memory pages from the least used
+// memory channels".
+func (m *Manager) leastUsedGroup(sp *Space) int {
+	best, bestN := -1, int(^uint(0)>>1)
+	for _, g := range sp.groups {
+		if n := len(sp.byGroup[g]); n < bestN {
+			best, bestN = g, n
+		}
+	}
+	if best < 0 {
+		panic(fmt.Sprintf("vm: app %d has no channel groups", sp.id))
+	}
+	return best
+}
+
+func (m *Manager) allocFrame(group int) uint64 {
+	if n := len(m.recycled[group]); n > 0 {
+		f := m.recycled[group][n-1]
+		m.recycled[group] = m.recycled[group][:n-1]
+		return f
+	}
+	if m.nextFrame[group] >= m.mapper.FramesPerGroup() {
+		panic(fmt.Sprintf("vm: channel group %d out of physical frames", group))
+	}
+	f := m.nextFrame[group]
+	m.nextFrame[group]++
+	return f
+}
+
+// HandleFault allocates a physical frame for (app, vpn) and maps it. It
+// panics if the page is already mapped; callers must Translate first.
+func (m *Manager) HandleFault(app int, vpn uint64) uint64 {
+	sp := m.spaces[app]
+	if _, dup := sp.pageTable[vpn]; dup {
+		panic(fmt.Sprintf("vm: double fault for app %d vpn %#x", app, vpn))
+	}
+	group := m.leastUsedGroup(sp)
+	frame := m.allocFrame(group)
+	pa := m.mapper.FrameBase(group, frame)
+	sp.pageTable[vpn] = pa
+	sp.byGroup[group][vpn] = struct{}{}
+	m.frameTag[pa] = ContentTag(app, vpn)
+	m.frameOwner[pa] = [2]uint64{uint64(app), vpn}
+	m.stats.Faults++
+	m.stats.Allocated++
+	return pa
+}
+
+// CheckRead verifies that the frame backing (app, vpn) carries the content
+// tag of that page. It returns an error describing any corruption.
+func (m *Manager) CheckRead(app int, vpn uint64) error {
+	pa, ok := m.Translate(app, vpn)
+	if !ok {
+		return fmt.Errorf("vm: app %d vpn %#x not mapped", app, vpn)
+	}
+	if got, want := m.frameTag[pa], ContentTag(app, vpn); got != want {
+		return fmt.Errorf("vm: app %d vpn %#x at %#x holds tag %#x, want %#x", app, vpn, pa, got, want)
+	}
+	return nil
+}
+
+// Migration is a planned page move: copy Src lines to Dst lines, then call
+// Commit.
+type Migration struct {
+	App      int
+	VPN      uint64
+	SrcPA    uint64
+	DstPA    uint64
+	Src, Dst []addr.Location
+
+	m *Manager
+}
+
+// PlanMigration allocates a destination frame for (app, vpn) in the
+// least-used allowed group and returns the copy plan. It returns nil if the
+// page is unmapped, already migrating, or already in the best group.
+// toGroup >= 0 forces a specific destination group.
+func (m *Manager) PlanMigration(app int, vpn uint64, toGroup int) *Migration {
+	sp := m.spaces[app]
+	pa, ok := sp.pageTable[vpn]
+	if !ok || sp.migrating[vpn] {
+		return nil
+	}
+	srcGroup := m.mapper.ChannelGroup(pa)
+	dstGroup := toGroup
+	if dstGroup < 0 {
+		dstGroup = m.leastUsedGroup(sp)
+		if srcGroup == dstGroup {
+			// For a forced reshuffle (pendingAll) any other allowed group
+			// will do; otherwise there is nothing to move.
+			if _, forced := sp.pendingAll[vpn]; forced {
+				for _, g := range sp.groups {
+					if g != srcGroup {
+						dstGroup = g
+						break
+					}
+				}
+			}
+		}
+	}
+	if srcGroup == dstGroup {
+		// Nothing to move; a forced reshuffle to nowhere is just cleared.
+		delete(sp.pendingAll, vpn)
+		return nil
+	}
+	frame := m.allocFrame(dstGroup)
+	dstPA := m.mapper.FrameBase(dstGroup, frame)
+	sp.migrating[vpn] = true
+	return &Migration{
+		App:   app,
+		VPN:   vpn,
+		SrcPA: pa,
+		DstPA: dstPA,
+		Src:   m.mapper.PageLines(pa),
+		Dst:   m.mapper.PageLines(dstPA),
+		m:     m,
+	}
+}
+
+// Commit finalises the migration: the page table now points at the new
+// frame, the content tag moves with the data, and the old frame is
+// recycled.
+func (mig *Migration) Commit() {
+	m := mig.m
+	sp := m.spaces[mig.App]
+	srcGroup := m.mapper.ChannelGroup(mig.SrcPA)
+	dstGroup := m.mapper.ChannelGroup(mig.DstPA)
+
+	sp.pageTable[mig.VPN] = mig.DstPA
+	delete(sp.byGroup[srcGroup], mig.VPN)
+	sp.byGroup[dstGroup][mig.VPN] = struct{}{}
+	delete(sp.migrating, mig.VPN)
+	delete(sp.pendingAll, mig.VPN)
+
+	m.frameTag[mig.DstPA] = m.frameTag[mig.SrcPA] // the copy moved the data
+	m.frameOwner[mig.DstPA] = [2]uint64{uint64(mig.App), mig.VPN}
+	delete(m.frameTag, mig.SrcPA)
+	delete(m.frameOwner, mig.SrcPA)
+	_, frame := m.mapper.FrameOf(mig.SrcPA)
+	m.recycled[srcGroup] = append(m.recycled[srcGroup], frame)
+	m.stats.Migrations++
+	m.stats.Freed++
+	if sp.rebalancing && m.balanced(sp) {
+		sp.rebalancing = false // Section 4.4: driver clears the register
+	}
+}
+
+// Abort releases the reserved destination frame without moving the page.
+func (mig *Migration) Abort() {
+	m := mig.m
+	sp := m.spaces[mig.App]
+	dstGroup := m.mapper.ChannelGroup(mig.DstPA)
+	_, frame := m.mapper.FrameOf(mig.DstPA)
+	m.recycled[dstGroup] = append(m.recycled[dstGroup], frame)
+	delete(sp.migrating, mig.VPN)
+}
+
+// MarkAllPending flags every resident page of the application for forced
+// migration — the UGPU-Ori behaviour, where losing the customized address
+// mapping means a channel reallocation reorganises data across the whole
+// DRAM hierarchy.
+func (m *Manager) MarkAllPending(app int) {
+	sp := m.spaces[app]
+	for vpn := range sp.pageTable {
+		sp.pendingAll[vpn] = struct{}{}
+	}
+}
+
+// PendingAll reports how many forced-migration pages remain.
+func (m *Manager) PendingAll(app int) int { return len(m.spaces[app].pendingAll) }
+
+// NeedsMigration reports whether an access to (app, vpn) backed by pa
+// requires a blocking page migration: the frame is outside the allowed
+// channel groups, or the page is flagged for a forced reshuffle. The access
+// cannot proceed until the page moves (its channel belongs to another app).
+func (m *Manager) NeedsMigration(app int, vpn, pa uint64) bool {
+	sp := m.spaces[app]
+	if !sp.allowed[m.mapper.ChannelGroup(pa)] {
+		return true
+	}
+	_, forced := sp.pendingAll[vpn]
+	return forced
+}
+
+// WantsRebalance reports whether an access to (app, vpn) backed by pa
+// should trigger a non-blocking migration toward newly gained channels: the
+// channel-list register is set and the page sits on an over-loaded group.
+// The access itself proceeds in place (the frame is still owned).
+func (m *Manager) WantsRebalance(app int, vpn, pa uint64) bool {
+	sp := m.spaces[app]
+	if !sp.rebalancing || sp.migrating[vpn] {
+		return false
+	}
+	g := m.mapper.ChannelGroup(pa)
+	if !sp.allowed[g] {
+		return false // handled by NeedsMigration
+	}
+	target := len(sp.pageTable)/len(sp.groups) + 1
+	return len(sp.byGroup[g]) > target+target/4
+}
+
+// SetRebalancing sets the app's channel-list register state: while true,
+// accesses to pages on over-loaded groups migrate toward under-used
+// (typically newly allocated) groups. The flag self-clears when page counts
+// balance (checked on each migration commit).
+func (m *Manager) SetRebalancing(app int, on bool) {
+	m.spaces[app].rebalancing = on
+}
+
+// Rebalancing reports the app's channel-list register state.
+func (m *Manager) Rebalancing(app int) bool { return m.spaces[app].rebalancing }
+
+// balanced reports whether the app's per-group page counts are within 25%
+// of the mean.
+func (m *Manager) balanced(sp *Space) bool {
+	if len(sp.groups) == 0 {
+		return true
+	}
+	target := len(sp.pageTable)/len(sp.groups) + 1
+	for _, g := range sp.groups {
+		if n := len(sp.byGroup[g]); n > target+target/4 {
+			return false
+		}
+	}
+	return true
+}
+
+// PagesToMigrate lists up to limit pages that a background scrubber should
+// move: pages outside the allowed groups first, then forced-reshuffle pages.
+func (m *Manager) PagesToMigrate(app int, limit int) []uint64 {
+	out := m.PagesOutside(app, limit)
+	if limit > 0 && len(out) >= limit {
+		return out
+	}
+	sp := m.spaces[app]
+	for vpn := range sp.pendingAll {
+		if sp.migrating[vpn] {
+			continue
+		}
+		if g := m.mapper.ChannelGroup(sp.pageTable[vpn]); !sp.allowed[g] {
+			continue // already listed by PagesOutside
+		}
+		out = append(out, vpn)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// PagesOutside lists up to limit resident pages that are NOT in the
+// application's allowed groups — the pages a background scrubber or
+// fault-driven path must migrate after a reallocation. limit <= 0 means all.
+func (m *Manager) PagesOutside(app int, limit int) []uint64 {
+	sp := m.spaces[app]
+	var out []uint64
+	for g, set := range sp.byGroup {
+		if sp.allowed[g] {
+			continue
+		}
+		for vpn := range set {
+			if sp.migrating[vpn] {
+				continue
+			}
+			out = append(out, vpn)
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// ImbalancePages lists up to limit pages that should move to newly allocated
+// (under-used) groups to balance page counts across the app's groups —
+// Section 4.4's inbound migration for apps that gained channels. Pages are
+// drawn from the most-loaded groups.
+func (m *Manager) ImbalancePages(app int, limit int) []uint64 {
+	sp := m.spaces[app]
+	if len(sp.groups) < 2 || len(sp.pageTable) == 0 {
+		return nil
+	}
+	target := len(sp.pageTable) / len(sp.groups)
+	var out []uint64
+	for _, g := range sp.groups {
+		excess := len(sp.byGroup[g]) - target - 1
+		if excess <= 0 {
+			continue
+		}
+		for vpn := range sp.byGroup[g] {
+			if excess <= 0 || (limit > 0 && len(out) >= limit) {
+				break
+			}
+			if sp.migrating[vpn] {
+				continue
+			}
+			out = append(out, vpn)
+			excess--
+		}
+	}
+	return out
+}
+
+// GroupLoad reports the app's resident page count per channel group.
+func (m *Manager) GroupLoad(app int) []int {
+	sp := m.spaces[app]
+	load := make([]int, len(sp.byGroup))
+	for g, set := range sp.byGroup {
+		load[g] = len(set)
+	}
+	return load
+}
+
+// CheckInvariants validates global frame bookkeeping: every mapped page's
+// frame is owned by exactly that page, and no frame is mapped twice.
+func (m *Manager) CheckInvariants() error {
+	seen := make(map[uint64][2]uint64)
+	for app, sp := range m.spaces {
+		for vpn, pa := range sp.pageTable {
+			if prev, dup := seen[pa]; dup {
+				return fmt.Errorf("vm: frame %#x mapped by both app%d/%#x and app%d/%#x", pa, prev[0], prev[1], app, vpn)
+			}
+			seen[pa] = [2]uint64{uint64(app), vpn}
+			if owner, ok := m.frameOwner[pa]; !ok || owner != [2]uint64{uint64(app), vpn} {
+				return fmt.Errorf("vm: frame %#x owner record %v, want app%d/%#x", pa, owner, app, vpn)
+			}
+			group := m.mapper.ChannelGroup(pa)
+			if _, ok := sp.byGroup[group][vpn]; !ok {
+				return fmt.Errorf("vm: app %d vpn %#x missing from group %d index", app, vpn, group)
+			}
+		}
+		total := 0
+		for _, set := range sp.byGroup {
+			total += len(set)
+		}
+		if total != len(sp.pageTable) {
+			return fmt.Errorf("vm: app %d group index holds %d pages, page table %d", app, total, len(sp.pageTable))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package ugpu_test
+
+import (
+	"testing"
+
+	"ugpu"
+)
+
+func TestConfigs(t *testing.T) {
+	cfg := ugpu.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := ugpu.PaperConfig()
+	if p.MaxCycles != 25_000_000 || p.EpochCycles != 5_000_000 {
+		t.Errorf("PaperConfig lengths = %d/%d", p.MaxCycles, p.EpochCycles)
+	}
+}
+
+func TestBenchmarkCatalog(t *testing.T) {
+	if got := len(ugpu.Benchmarks()); got != 15 {
+		t.Errorf("Benchmarks() = %d entries, want 15", got)
+	}
+	if got := len(ugpu.AIBenchmarks()); got != 5 {
+		t.Errorf("AIBenchmarks() = %d entries, want 5", got)
+	}
+	if _, err := ugpu.BenchmarkByName("PVC"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ugpu.BenchmarkByName("nope"); err == nil {
+		t.Error("BenchmarkByName accepted garbage")
+	}
+}
+
+func TestMixOf(t *testing.T) {
+	mix, err := ugpu.MixOf("PVC", "DXTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Name != "PVC_DXTC" || !mix.Hetero || len(mix.Apps) != 2 {
+		t.Errorf("MixOf = %+v", mix)
+	}
+	if _, err := ugpu.MixOf(); err == nil {
+		t.Error("empty MixOf accepted")
+	}
+	if _, err := ugpu.MixOf("XYZ"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	homo, _ := ugpu.MixOf("PVC", "LBM")
+	if homo.Hetero {
+		t.Error("PVC_LBM marked heterogeneous")
+	}
+}
+
+func TestMixFamilies(t *testing.T) {
+	if got := len(ugpu.AllMixes()); got != 105 {
+		t.Errorf("AllMixes = %d, want 105", got)
+	}
+	if got := len(ugpu.HeterogeneousMixes(50)); got != 50 {
+		t.Errorf("HeterogeneousMixes(50) = %d", got)
+	}
+	if got := len(ugpu.EightProgramMixes(3, 1)); got != 3 {
+		t.Errorf("EightProgramMixes = %d", got)
+	}
+	if got := len(ugpu.AIMixes()); got != 10 {
+		t.Errorf("AIMixes = %d", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	cfg := ugpu.DefaultConfig()
+	for _, name := range ugpu.PolicyNames() {
+		p, err := ugpu.PolicyByName(name, cfg)
+		if err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("policy %q has empty name", name)
+		}
+	}
+	if _, err := ugpu.PolicyByName("bogus", cfg); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	cfg := ugpu.DefaultConfig()
+	cfg.MaxCycles = 40_000
+	cfg.EpochCycles = 20_000
+	mix, err := ugpu.MixOf("LAVAMD", "CP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := ugpu.WithOptions(ugpu.NewUGPU(cfg), func(o *ugpu.Options) {
+		o.FootprintScale = 64
+		o.CheckReads = true
+	})
+	res, err := ugpu.Run(cfg, pol, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 40_000 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+	if res.TotalIPC() <= 0 {
+		t.Error("no progress")
+	}
+	if len(res.Final) != 2 {
+		t.Errorf("final partition = %+v", res.Final)
+	}
+	// Metrics plumb through.
+	stp, antt := ugpu.Score(res, []float64{10, 150})
+	if stp <= 0 || antt <= 0 {
+		t.Errorf("Score = (%f, %f)", stp, antt)
+	}
+	e := ugpu.DefaultEnergy().Energy(cfg, res)
+	if e.Total() <= 0 || e.MemFraction() <= 0 {
+		t.Errorf("energy breakdown = %+v", e)
+	}
+}
+
+func TestSimulationStepwise(t *testing.T) {
+	cfg := ugpu.DefaultConfig()
+	cfg.MaxCycles = 30_000
+	cfg.EpochCycles = 15_000
+	mix, _ := ugpu.MixOf("PVC", "DXTC")
+	pol := ugpu.WithOptions(ugpu.NewBP(), func(o *ugpu.Options) { o.FootprintScale = 64 })
+	sim, err := ugpu.NewSimulation(cfg, pol, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.G == nil {
+		t.Fatal("simulation exposes no GPU")
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 2 {
+		t.Errorf("epochs = %d, want 2", res.Epochs)
+	}
+}
