@@ -1,0 +1,46 @@
+# Developer entry points for the UGPU reproduction. All targets use only the
+# standard Go toolchain; there are no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test short race bench vet check experiments bench-json clean
+
+all: check
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: full test suite (tier-1 gate together with build)
+test:
+	$(GO) test ./...
+
+## short: quick test pass (skips multi-simulation sweeps)
+short:
+	$(GO) test -short ./...
+
+## race: race-detector pass (short mode keeps the heavy sweeps out)
+race:
+	$(GO) test -race -short ./...
+
+## bench: hot-path allocation benchmarks (ReportAllocs)
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/...
+
+## vet: static analysis; must be clean
+vet:
+	$(GO) vet ./...
+
+## check: everything the CI gate runs
+check: build vet test race
+
+## experiments: regenerate every figure at the recorded scale
+experiments:
+	$(GO) run ./cmd/experiments -fig all -cycles 150000 -epoch 25000 -mixes 3 -v
+
+## bench-json: regenerate the serial-vs-parallel benchmark artifact
+bench-json:
+	$(GO) run ./cmd/experiments -bench-json BENCH_parallel.json -cycles 60000 -epoch 20000 -mixes 3
+
+clean:
+	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"ugpu/internal/core"
 	"ugpu/internal/dram"
 	"ugpu/internal/gpu"
+	"ugpu/internal/parallel"
 )
 
 func ablationCfg() ugpu.Config {
@@ -28,52 +29,81 @@ func scaled(p ugpu.Policy) ugpu.Policy {
 	return ugpu.WithOptions(p, func(o *ugpu.Options) { o.FootprintScale = 64 })
 }
 
-func runTotalIPC(b *testing.B, cfg ugpu.Config, p ugpu.Policy) float64 {
-	b.Helper()
+func totalIPC(cfg ugpu.Config, p ugpu.Policy) (float64, error) {
 	mix, err := ugpu.MixOf("PVC", "DXTC")
 	if err != nil {
-		b.Fatal(err)
+		return 0, err
 	}
 	res, err := ugpu.Run(cfg, scaled(p), mix)
 	if err != nil {
+		return 0, err
+	}
+	return res.TotalIPC(), nil
+}
+
+// sweepIPC fans the variant sweep out through the shared deterministic
+// runner (internal/parallel): each task constructs its own policy — policies
+// are stateful — and owns its GPU instance, and the results come back in
+// index order so the reported metrics are stable across worker counts.
+func sweepIPC(b *testing.B, n int, variant func(i int) (ugpu.Config, ugpu.Policy)) []float64 {
+	b.Helper()
+	ipcs, err := parallel.Map(parallel.New(0), n, func(i int) (float64, error) {
+		cfg, p := variant(i)
+		return totalIPC(cfg, p)
+	})
+	if err != nil {
 		b.Fatal(err)
 	}
-	return res.TotalIPC()
+	return ipcs
 }
 
 // BenchmarkAblationScrubber compares the paper's fault-driven-only
-// migration against the background-scrubber extension.
+// migration against the background-scrubber extension. The two independent
+// simulations fan out through internal/parallel.
 func BenchmarkAblationScrubber(b *testing.B) {
 	cfg := ablationCfg()
 	for i := 0; i < b.N; i++ {
-		faultOnly := runTotalIPC(b, cfg, core.NewUGPU(cfg))
-		scrubbed := runTotalIPC(b, cfg, core.NewUGPUScrubbed(cfg))
-		b.ReportMetric(faultOnly, "faultOnlyIPC")
-		b.ReportMetric(scrubbed, "scrubbedIPC")
+		ipcs := sweepIPC(b, 2, func(i int) (ugpu.Config, ugpu.Policy) {
+			if i == 0 {
+				return cfg, core.NewUGPU(cfg)
+			}
+			return cfg, core.NewUGPUScrubbed(cfg)
+		})
+		b.ReportMetric(ipcs[0], "faultOnlyIPC")
+		b.ReportMetric(ipcs[1], "scrubbedIPC")
 	}
 }
 
 // BenchmarkAblationHillClimb compares the demand-aware algorithm against
-// model-free hill climbing (the prior-work approach of Section 3.1).
+// model-free hill climbing (the prior-work approach of Section 3.1). The
+// two independent simulations fan out through internal/parallel.
 func BenchmarkAblationHillClimb(b *testing.B) {
 	cfg := ablationCfg()
 	for i := 0; i < b.N; i++ {
-		demandAware := runTotalIPC(b, cfg, core.NewUGPU(cfg))
-		hill := runTotalIPC(b, cfg, ugpu.NewHillClimb(cfg))
-		b.ReportMetric(demandAware, "demandAwareIPC")
-		b.ReportMetric(hill, "hillClimbIPC")
+		ipcs := sweepIPC(b, 2, func(i int) (ugpu.Config, ugpu.Policy) {
+			if i == 0 {
+				return cfg, core.NewUGPU(cfg)
+			}
+			return cfg, ugpu.NewHillClimb(cfg)
+		})
+		b.ReportMetric(ipcs[0], "demandAwareIPC")
+		b.ReportMetric(ipcs[1], "hillClimbIPC")
 	}
 }
 
 // BenchmarkAblationEpochLength sweeps the profiling epoch: short epochs
-// react faster but pay reallocation churn; long epochs amortize it.
+// react faster but pay reallocation churn; long epochs amortize it. The
+// epoch points fan out through internal/parallel.
 func BenchmarkAblationEpochLength(b *testing.B) {
+	epochs := []int{10_000, 40_000}
 	for i := 0; i < b.N; i++ {
-		for _, epoch := range []int{10_000, 40_000} {
+		ipcs := sweepIPC(b, len(epochs), func(i int) (ugpu.Config, ugpu.Policy) {
 			cfg := ablationCfg()
-			cfg.EpochCycles = epoch
-			ipc := runTotalIPC(b, cfg, core.NewUGPU(cfg))
-			b.ReportMetric(ipc, "ipc@"+itoa(epoch/1000)+"k")
+			cfg.EpochCycles = epochs[i]
+			return cfg, core.NewUGPU(cfg)
+		})
+		for j, epoch := range epochs {
+			b.ReportMetric(ipcs[j], "ipc@"+itoa(epoch/1000)+"k")
 		}
 	}
 }

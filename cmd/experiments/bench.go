@@ -1,0 +1,163 @@
+package main
+
+// Benchmark mode (-bench-json): times selected figure generators serially
+// (Parallel=1) and with the fan-out pool, measures allocations, runs the
+// hot-path micro-benchmark, and writes the results as JSON (the
+// BENCH_parallel.json artifact recorded in the repo).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ugpu/internal/config"
+	"ugpu/internal/experiments"
+	"ugpu/internal/gpu"
+	"ugpu/internal/workload"
+)
+
+// figBench records one figure's serial-vs-parallel comparison.
+type figBench struct {
+	ID              string  `json:"id"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	SerialAllocs    uint64  `json:"serial_allocs"`
+	ParallelAllocs  uint64  `json:"parallel_allocs"`
+}
+
+// hotPathBench records the single-simulation micro-benchmark.
+type hotPathBench struct {
+	Benchmark       string `json:"benchmark"`
+	NsPerOp         int64  `json:"ns_per_op"`
+	AllocsPerOp     int64  `json:"allocs_per_op"`
+	BytesPerOp      int64  `json:"bytes_per_op"`
+	SeedAllocsPerOp int64  `json:"seed_allocs_per_op"`
+}
+
+// benchReport is the BENCH_parallel.json schema.
+type benchReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	Cores       int          `json:"cores"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Workers     int          `json:"workers"`
+	Note        string       `json:"note"`
+	Figures     []figBench   `json:"figures"`
+	HotPath     hotPathBench `json:"hot_path"`
+}
+
+// seedAllocsPerOp is BenchmarkSimulatorThroughput measured on the seed tree
+// (before the event-wheel/pool/ring-buffer optimizations), kept as the
+// regression reference.
+const seedAllocsPerOp = 1_420_794
+
+// measured runs fn and reports wall-clock plus the heap allocation count.
+func measured(fn func() error) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, err
+}
+
+// runBench executes the benchmark comparison over figIDs and writes the JSON
+// report to path.
+func runBench(opt experiments.Options, figIDs []string, workers int, path string) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	serialOpt := opt
+	serialOpt.Parallel = 1
+	parallelOpt := opt
+	parallelOpt.Parallel = workers
+
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Cores:       runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Note: "speedup >= 1.8x is expected only with >= 2 cores; on a " +
+			"single-core host serial and parallel wall-clock match within noise " +
+			"(the determinism contract guarantees identical output either way)",
+	}
+
+	for _, id := range figIDs {
+		serialGen, ok := generatorFor(serialOpt, id)
+		if !ok {
+			return fmt.Errorf("unknown figure id %q", id)
+		}
+		parallelGen, _ := generatorFor(parallelOpt, id)
+
+		fb := figBench{ID: id}
+		var err error
+		d, allocs, err := measured(func() error { _, e := serialGen(); return e })
+		if err != nil {
+			return fmt.Errorf("figure %s (serial): %w", id, err)
+		}
+		fb.SerialSeconds, fb.SerialAllocs = d.Seconds(), allocs
+
+		d, allocs, err = measured(func() error { _, e := parallelGen(); return e })
+		if err != nil {
+			return fmt.Errorf("figure %s (parallel): %w", id, err)
+		}
+		fb.ParallelSeconds, fb.ParallelAllocs = d.Seconds(), allocs
+		if fb.ParallelSeconds > 0 {
+			fb.Speedup = fb.SerialSeconds / fb.ParallelSeconds
+		}
+		rep.Figures = append(rep.Figures, fb)
+		fmt.Fprintf(os.Stderr, "[bench %s: serial %.2fs, parallel(%d) %.2fs, speedup %.2fx]\n",
+			id, fb.SerialSeconds, workers, fb.ParallelSeconds, fb.Speedup)
+	}
+
+	res := testing.Benchmark(benchSimulatorThroughput)
+	rep.HotPath = hotPathBench{
+		Benchmark:       "SimulatorThroughput (2-app 60k-cycle sim)",
+		NsPerOp:         res.NsPerOp(),
+		AllocsPerOp:     res.AllocsPerOp(),
+		BytesPerOp:      res.AllocedBytesPerOp(),
+		SeedAllocsPerOp: seedAllocsPerOp,
+	}
+	fmt.Fprintf(os.Stderr, "[bench hot path: %d allocs/op (seed %d)]\n",
+		rep.HotPath.AllocsPerOp, seedAllocsPerOp)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// benchSimulatorThroughput mirrors the internal/gpu benchmark of the same
+// name: one full two-app 60k-cycle simulation per iteration.
+func benchSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default()
+		cfg.EpochCycles = 20_000
+		cfg.MaxCycles = 60_000
+		lbm, err := workload.ByAbbr("LBM")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dxtc, err := workload.ByAbbr("DXTC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := gpu.DefaultOptions()
+		opt.FootprintScale = 64
+		g, err := gpu.New(cfg, []gpu.AppSpec{
+			{Bench: lbm, SMs: 40, Groups: []int{0, 1, 2, 3}},
+			{Bench: dxtc, SMs: 40, Groups: []int{4, 5, 6, 7}},
+		}, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Run(uint64(cfg.MaxCycles))
+	}
+}

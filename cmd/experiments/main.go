@@ -4,7 +4,16 @@
 // Usage:
 //
 //	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize]
-//	            [-cycles N] [-epoch N] [-mixes N] [-scale N] [-v]
+//	            [-cycles N] [-epoch N] [-mixes N] [-scale N] [-parallel N]
+//	            [-bench-json path] [-v]
+//
+// Every figure is a sweep of independent simulations fanned out through
+// internal/parallel; -parallel bounds the worker pool (0 = GOMAXPROCS,
+// 1 = serial). Output is byte-identical for any worker count.
+//
+// -bench-json runs the selected figures twice (serial, then parallel),
+// records wall-clock, allocation counts, and the hot-path micro-benchmark,
+// and writes the comparison as JSON (see BENCH_parallel.json).
 //
 // Results reproduce the paper's shapes, not absolute numbers; see
 // EXPERIMENTS.md for the recorded comparison.
@@ -20,14 +29,53 @@ import (
 	"ugpu/internal/experiments"
 )
 
+// gen is one runnable figure generator.
+type gen struct {
+	id  string
+	run func() (experiments.Figure, error)
+}
+
+// gensFor binds every figure generator to the given options. Bindings
+// capture opt by value, so serial and parallel variants coexist.
+func gensFor(opt experiments.Options) []gen {
+	return []gen{
+		{"table2", opt.Table2Profiles},
+		{"2", opt.Figure2},
+		{"3", opt.Figure3},
+		{"4", opt.Figure4},
+		{"10", opt.Figure10},
+		{"11", opt.Figure11},
+		{"12a", opt.Figure12a},
+		{"12b", opt.Figure12b},
+		{"13", opt.Figure13},
+		{"14", opt.Figure14},
+		{"15", opt.Figure15},
+		{"16", opt.Figure16},
+		{"micro", opt.MigrationMicro},
+		{"pagesize", opt.PageSizeSensitivity},
+	}
+}
+
+// generatorFor returns the generator for one figure id under opt.
+func generatorFor(opt experiments.Options, id string) (func() (experiments.Figure, error), bool) {
+	for _, g := range gensFor(opt) {
+		if g.id == id {
+			return g.run, true
+		}
+	}
+	return nil, false
+}
+
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate (comma-separated ids or 'all')")
-		cycles  = flag.Int("cycles", 0, "simulated cycles per run (default: experiment suite default)")
-		epoch   = flag.Int("epoch", 0, "epoch length in cycles")
-		mixes   = flag.Int("mixes", 0, "mixes per sweep")
-		scale   = flag.Int("scale", 0, "footprint divisor")
-		verbose = flag.Bool("v", false, "log per-run progress")
+		fig       = flag.String("fig", "all", "which figure to regenerate (comma-separated ids or 'all')")
+		cycles    = flag.Int("cycles", 0, "simulated cycles per run (default: experiment suite default)")
+		epoch     = flag.Int("epoch", 0, "epoch length in cycles")
+		mixes     = flag.Int("mixes", 0, "mixes per sweep")
+		scale     = flag.Int("scale", 0, "footprint divisor")
+		parallelN = flag.Int("parallel", 0, "sweep fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+		benchJSON = flag.String("bench-json", "", "write a serial-vs-parallel benchmark report to this path and exit")
+		verbose   = flag.Bool("v", false, "log per-run progress")
 	)
 	flag.Parse()
 
@@ -47,34 +95,34 @@ func main() {
 	if *verbose {
 		opt.Log = os.Stderr
 	}
-
-	type gen struct {
-		id  string
-		run func() (experiments.Figure, error)
-	}
-	gens := []gen{
-		{"table2", opt.Table2Profiles},
-		{"2", opt.Figure2},
-		{"3", opt.Figure3},
-		{"4", opt.Figure4},
-		{"10", opt.Figure10},
-		{"11", opt.Figure11},
-		{"12a", opt.Figure12a},
-		{"12b", opt.Figure12b},
-		{"13", opt.Figure13},
-		{"14", opt.Figure14},
-		{"15", opt.Figure15},
-		{"16", opt.Figure16},
-		{"micro", opt.MigrationMicro},
-		{"pagesize", opt.PageSizeSensitivity},
-	}
+	opt.Parallel = *parallelN
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(strings.ToLower(id))] = true
 	}
+
+	if *benchJSON != "" {
+		// Benchmark mode defaults to the Figure 10 and 14 sweeps (the golden
+		// determinism pair) unless -fig picks a specific set.
+		ids := []string{"10", "14"}
+		if !want["all"] {
+			ids = ids[:0]
+			for _, g := range gensFor(opt) {
+				if want[g.id] {
+					ids = append(ids, g.id)
+				}
+			}
+		}
+		if err := runBench(opt, ids, *parallelN, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	ran := 0
-	for _, g := range gens {
+	for _, g := range gensFor(opt) {
 		if !want["all"] && !want[g.id] {
 			continue
 		}

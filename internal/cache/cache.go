@@ -181,10 +181,13 @@ func (c *Cache) CheckInvariants() bool {
 }
 
 // MSHR tracks outstanding misses and merges requests to the same line.
+// Waiter slices retired via Recycle are reused for later allocations, so the
+// steady-state miss path does not allocate per outstanding line.
 type MSHR struct {
 	capacity int
 	maxMerge int
 	entries  map[uint64][]any
+	free     [][]any // recycled waiter-slice backing arrays
 }
 
 // NewMSHR builds an MSHR file with the given entry capacity. maxMerge bounds
@@ -217,15 +220,36 @@ func (m *MSHR) Add(line uint64, waiter any) (allocated, ok bool) {
 	if len(m.entries) >= m.capacity {
 		return false, false
 	}
-	m.entries[line] = append(make([]any, 0, 4), waiter)
+	var ws []any
+	if n := len(m.free); n > 0 {
+		ws = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		ws = make([]any, 0, 4)
+	}
+	m.entries[line] = append(ws, waiter)
 	return true, true
 }
 
-// Remove completes the line's miss and returns its waiters.
+// Remove completes the line's miss and returns its waiters. Callers that
+// fully consume the returned slice should hand it back via Recycle.
 func (m *MSHR) Remove(line uint64) []any {
 	ws := m.entries[line]
 	delete(m.entries, line)
 	return ws
+}
+
+// Recycle returns a consumed waiter slice (from Remove) to the MSHR's
+// freelist. The caller must not retain the slice afterwards.
+func (m *MSHR) Recycle(ws []any) {
+	if cap(ws) == 0 || len(m.free) >= m.capacity {
+		return
+	}
+	ws = ws[:cap(ws)]
+	for i := range ws {
+		ws[i] = nil // drop waiter references for GC
+	}
+	m.free = append(m.free, ws[:0])
 }
 
 // Len reports the number of outstanding lines.

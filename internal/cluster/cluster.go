@@ -21,6 +21,7 @@ import (
 	"ugpu/internal/config"
 	"ugpu/internal/core"
 	"ugpu/internal/metrics"
+	"ugpu/internal/parallel"
 	"ugpu/internal/workload"
 )
 
@@ -47,6 +48,12 @@ type Cluster struct {
 	Cfg           config.Config
 	GPUs          int
 	TenantsPerGPU int
+
+	// Parallel bounds the worker pool used to simulate the cluster's GPUs
+	// (each physical GPU is an independent simulation). 0 sizes the pool to
+	// GOMAXPROCS; 1 forces serial execution. Reports are identical for any
+	// value — see internal/parallel's determinism contract.
+	Parallel int
 }
 
 // New builds a cluster of n GPUs hosting perGPU tenants each.
@@ -111,8 +118,18 @@ func (c *Cluster) Run(jobs []workload.Benchmark, p Placement, mkPolicy func() co
 	if err != nil {
 		return Report{}, err
 	}
-	rep := Report{Placement: p}
-	anttN := 0
+	rep := Report{Placement: p, Policy: mkPolicy().Name()}
+
+	// Each occupied GPU is an independent simulation: fan the set out over
+	// the worker pool. Every task builds its own policy instance (policies
+	// carry state) and GPU; shared state is limited to the singleflight-
+	// guarded AloneIPC cache. Reports are aggregated in GPU-index order so
+	// the output is identical to a serial run.
+	type slot struct {
+		gi  int
+		mix workload.Mix
+	}
+	var slots []slot
 	for gi, tenants := range placed {
 		if len(tenants) == 0 {
 			continue
@@ -127,22 +144,31 @@ func (c *Cluster) Run(jobs []workload.Benchmark, p Placement, mkPolicy func() co
 				hasM = true
 			}
 		}
-		mix := workload.Mix{Name: strings.Join(names, "_"), Apps: tenants, Hetero: hasC && hasM}
-		pol := mkPolicy()
-		rep.Policy = pol.Name()
-		res, err := core.RunPolicy(c.Cfg, pol, mix)
+		slots = append(slots, slot{gi: gi, mix: workload.Mix{
+			Name: strings.Join(names, "_"), Apps: tenants, Hetero: hasC && hasM}})
+	}
+	reports, err := parallel.Map(parallel.New(c.Parallel), len(slots), func(i int) (GPUReport, error) {
+		s := slots[i]
+		res, err := core.RunPolicy(c.Cfg, mkPolicy(), s.mix)
 		if err != nil {
-			return Report{}, fmt.Errorf("gpu %d (%s): %w", gi, mix.Name, err)
+			return GPUReport{}, fmt.Errorf("gpu %d (%s): %w", s.gi, s.mix.Name, err)
 		}
-		ref, err := alone.Table(mix)
+		ref, err := alone.Table(s.mix)
 		if err != nil {
-			return Report{}, err
+			return GPUReport{}, err
 		}
 		stp, antt := metrics.Score(res, ref)
-		rep.PerGPU = append(rep.PerGPU, GPUReport{Mix: mix, Result: res, STP: stp, ANTT: antt})
-		rep.ClusterSTP += stp
-		rep.MeanANTT += antt * float64(len(tenants))
-		anttN += len(tenants)
+		return GPUReport{Mix: s.mix, Result: res, STP: stp, ANTT: antt}, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	anttN := 0
+	for _, gr := range reports {
+		rep.PerGPU = append(rep.PerGPU, gr)
+		rep.ClusterSTP += gr.STP
+		rep.MeanANTT += gr.ANTT * float64(len(gr.Mix.Apps))
+		anttN += len(gr.Mix.Apps)
 	}
 	if anttN > 0 {
 		rep.MeanANTT /= float64(anttN)

@@ -32,6 +32,9 @@ type Request struct {
 	// Done is invoked when the access completes (data returned for reads,
 	// data written for writes). It must not be nil.
 	Done func(finish uint64, r *Request)
+	// Tag is opaque caller context carried through Done; pooled callers use
+	// it instead of capturing state in a per-request closure.
+	Tag int32
 
 	// Private scheduling state.
 	enqueuedAt uint64
@@ -48,12 +51,46 @@ const farPast = int64(-1) << 40
 
 // bank tracks one DRAM bank's row-buffer and timing state. Times are signed
 // so they can be initialized to farPast.
+//
+// The per-bank request queue is a power-of-two ring buffer rather than an
+// append/reslice slice: popping via queue[1:] advances the backing array's
+// base, so every push would eventually reallocate — on the simulator's
+// hottest path that was one allocation per handful of DRAM commands.
 type bank struct {
 	openRow  int
 	readyAt  int64 // earliest cycle the bank accepts another command
 	actAt    int64 // time of last ACT (for tRC)
 	rasUntil int64 // earliest PRE after last ACT (tRAS)
-	queue    []*Request
+
+	q     []*Request // ring buffer; len(q) is a power of two (or zero)
+	qHead int
+	qLen  int
+}
+
+func (b *bank) qPush(r *Request) {
+	if b.qLen == len(b.q) {
+		n := len(b.q) * 2
+		if n == 0 {
+			n = 8
+		}
+		nq := make([]*Request, n)
+		for i := 0; i < b.qLen; i++ {
+			nq[i] = b.q[(b.qHead+i)&(len(b.q)-1)]
+		}
+		b.q, b.qHead = nq, 0
+	}
+	b.q[(b.qHead+b.qLen)&(len(b.q)-1)] = r
+	b.qLen++
+}
+
+func (b *bank) qFront() *Request { return b.q[b.qHead] }
+
+func (b *bank) qPop() *Request {
+	r := b.q[b.qHead]
+	b.q[b.qHead] = nil // release the request reference
+	b.qHead = (b.qHead + 1) & (len(b.q) - 1)
+	b.qLen--
+	return r
 }
 
 // group tracks per-bank-group timing state.
@@ -106,6 +143,10 @@ type HBM struct {
 	crossLink   []uint64  // per-stack interposer link availability (UGPU-Ori path)
 	tsvBusy     []int     // per-stack TSV sets borrowed by in-flight MIGRATIONs
 	activeMigPP int       // MIGRATION commands in flight (all stacks)
+
+	// queuedTotal sums queued requests over all channels so an idle memory
+	// system's Tick skips the per-channel scan entirely.
+	queuedTotal int
 }
 
 // AppStats aggregates per-application memory traffic for profiling.
@@ -161,8 +202,9 @@ func (h *HBM) Enqueue(cycle uint64, r *Request) bool {
 	}
 	r.enqueuedAt = cycle
 	b := &ch.banks[r.Loc.BankGroup*h.cfg.BanksPerGroup+r.Loc.Bank]
-	b.queue = append(b.queue, r)
+	b.qPush(r)
 	ch.queued++
+	h.queuedTotal++
 	ch.lastUse = maxI(ch.lastUse, int64(cycle))
 	return true
 }
@@ -170,9 +212,11 @@ func (h *HBM) Enqueue(cycle uint64, r *Request) bool {
 // Tick advances the memory system by one GPU cycle: each channel issues at
 // most one command, and migration jobs make progress.
 func (h *HBM) Tick(cycle uint64) {
-	for gi, ch := range h.channels {
-		if ch.queued > 0 {
-			h.issueOne(cycle, gi, ch)
+	if h.queuedTotal > 0 {
+		for gi, ch := range h.channels {
+			if ch.queued > 0 {
+				h.issueOne(cycle, gi, ch)
+			}
 		}
 	}
 	if len(h.migs) > 0 {
@@ -206,14 +250,14 @@ func (h *HBM) issueOne(cycle uint64, globalCh int, ch *channel) {
 	for k := 0; k < nb; k++ {
 		bi := (ch.rrBank + k) % nb
 		b := &ch.banks[bi]
-		if len(b.queue) == 0 {
+		if b.qLen == 0 {
 			continue
 		}
 		// The bank-group data path may be held by a MIGRATION command.
 		if ch.groups[bi/h.cfg.BanksPerGroup].migBusyTil > c {
 			continue
 		}
-		r := b.queue[0]
+		r := b.qFront()
 		if oldest == nil || r.enqueuedAt < oldest.enqueuedAt {
 			oldest, oldBank, oldIdx = r, b, bi
 		}
@@ -244,8 +288,9 @@ func (h *HBM) issueOne(cycle uint64, globalCh int, ch *channel) {
 	}
 	ch.rrBank = (bi + 1) % nb
 	finish := h.schedule(cycle, ch, b, r)
-	b.queue = b.queue[1:]
+	b.qPop()
 	ch.queued--
+	h.queuedTotal--
 	h.complete(finish, r)
 }
 

@@ -17,6 +17,7 @@ import (
 	"ugpu/internal/core"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
+	"ugpu/internal/parallel"
 	"ugpu/internal/workload"
 )
 
@@ -26,7 +27,18 @@ type Options struct {
 	Mixes          int       // mixes per sweep (0 = suite default)
 	FootprintScale int       // divides Table 2 footprints
 	Log            io.Writer // optional progress log
+
+	// Parallel bounds the worker pool for sweep fan-out: every figure is a
+	// set of independent simulations executed through internal/parallel.
+	// 0 sizes the pool to GOMAXPROCS; 1 forces serial execution. Results
+	// are byte-identical for any value (see the parallel package's
+	// determinism contract); progress logs are buffered per task and
+	// flushed in sweep order.
+	Parallel int
 }
+
+// runner returns the sweep fan-out pool.
+func (o Options) runner() *parallel.Runner { return parallel.New(o.Parallel) }
 
 // Default returns laptop-scale options: 150K-cycle runs with 25K-cycle
 // epochs over a subset of mixes.
@@ -113,21 +125,40 @@ func sortedByValue(xs []float64) []float64 {
 	return out
 }
 
-// scored runs one policy over mixes and returns per-mix STP and ANTT.
-func (o Options) scored(pol core.Policy, mixes []workload.Mix, alone *metrics.AloneIPC) (stp, antt []float64, err error) {
-	for _, mix := range mixes {
+// scored runs one policy over mixes and returns per-mix STP and ANTT. The
+// policy is produced per mix by mk, because some policies (CD-Search, the
+// hill climber) carry state across epochs and must not be shared between
+// concurrently simulated mixes. Mixes fan out over the Options' worker pool;
+// per-mix log lines are buffered and flushed in mix order so verbose output
+// is identical to a serial run.
+func (o Options) scored(mk func() core.Policy, mixes []workload.Mix, alone *metrics.AloneIPC) (stp, antt []float64, err error) {
+	type mixScore struct {
+		stp, antt float64
+		line      string
+	}
+	out, err := parallel.Map(o.runner(), len(mixes), func(i int) (mixScore, error) {
+		mix := mixes[i]
+		pol := mk()
 		res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s on %s: %w", pol.Name(), mix.Name, err)
+			return mixScore{}, fmt.Errorf("%s on %s: %w", pol.Name(), mix.Name, err)
 		}
 		ref, err := alone.Table(mix)
 		if err != nil {
-			return nil, nil, err
+			return mixScore{}, err
 		}
 		s, a := metrics.Score(res, ref)
-		stp = append(stp, s)
-		antt = append(antt, a)
-		o.logf("  %-14s %-22s STP=%.3f ANTT=%.3f realloc=%d\n", pol.Name(), mix.Name, s, a, res.Reallocations)
+		line := fmt.Sprintf("  %-14s %-22s STP=%.3f ANTT=%.3f realloc=%d\n",
+			pol.Name(), mix.Name, s, a, res.Reallocations)
+		return mixScore{stp: s, antt: a, line: line}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, m := range out {
+		stp = append(stp, m.stp)
+		antt = append(antt, m.antt)
+		o.logf("%s", m.line)
 	}
 	return stp, antt, nil
 }

@@ -8,6 +8,7 @@ import (
 	"ugpu/internal/dram"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
+	"ugpu/internal/parallel"
 	"ugpu/internal/workload"
 )
 
@@ -32,24 +33,37 @@ func (o Options) soloIPC(b workload.Benchmark, sms, groups int) (float64, error)
 // perfSweep implements the Figure 2/3 sweeps: performance of one benchmark
 // while varying the MC count at 40 SMs and the SM count at 16 MCs,
 // normalized to the half-GPU slice (40 SMs, 16 MCs = 4 channel groups).
+// Every point is an independent solo simulation, so the whole sweep fans out
+// over the worker pool in one Map call.
 func (o Options) perfSweep(abbr string, id, title string) (Figure, error) {
 	b, err := workload.ByAbbr(abbr)
 	if err != nil {
 		return Figure{}, err
 	}
-	base, err := o.soloIPC(b, 40, 4)
+	mcGroups := []int{1, 2, 4, 6, 8}
+	smCounts := []int{10, 20, 40, 60, 80}
+
+	type point struct{ sms, groups int }
+	points := []point{{40, 4}} // index 0: the normalization base
+	for _, g := range mcGroups {
+		points = append(points, point{40, g})
+	}
+	for _, s := range smCounts {
+		points = append(points, point{s, 4})
+	}
+	ipcs, err := parallel.Map(o.runner(), len(points), func(i int) (float64, error) {
+		return o.soloIPC(b, points[i].sms, points[i].groups)
+	})
 	if err != nil {
 		return Figure{}, err
 	}
+	base := ipcs[0]
 	chPerGroup := o.Cfg.ChannelsPerGroup()
 
 	var mcSeries Series
 	mcSeries.Name = "40 SMs, vary MCs"
-	for _, groups := range []int{1, 2, 4, 6, 8} {
-		ipc, err := o.soloIPC(b, 40, groups)
-		if err != nil {
-			return Figure{}, err
-		}
+	for i, groups := range mcGroups {
+		ipc := ipcs[1+i]
 		mcSeries.Labels = append(mcSeries.Labels, fmt.Sprintf("%dMC", groups*chPerGroup))
 		mcSeries.Values = append(mcSeries.Values, ipc/base)
 		o.logf("  %s 40SM/%dMC -> %.3f\n", abbr, groups*chPerGroup, ipc/base)
@@ -57,11 +71,8 @@ func (o Options) perfSweep(abbr string, id, title string) (Figure, error) {
 
 	var smSeries Series
 	smSeries.Name = "16 MCs, vary SMs"
-	for _, sms := range []int{10, 20, 40, 60, 80} {
-		ipc, err := o.soloIPC(b, sms, 4)
-		if err != nil {
-			return Figure{}, err
-		}
+	for i, sms := range smCounts {
+		ipc := ipcs[1+len(mcGroups)+i]
 		smSeries.Labels = append(smSeries.Labels, fmt.Sprintf("%dSM", sms))
 		smSeries.Values = append(smSeries.Values, ipc/base)
 		o.logf("  %s %dSM/16MC -> %.3f\n", abbr, sms, ipc/base)
@@ -104,18 +115,28 @@ func (o Options) Figure4() (Figure, error) {
 		Title: "system STP vs resource distribution to the memory-bound app (PVC_DXTC)",
 		Notes: []string{"rows: channel groups to PVC; columns: SMs to PVC; cells: STP"},
 	}
-	for _, gr := range grShares {
+	// One simulation per (group share, SM share) cell, fanned out flat with
+	// gr-major indexing so assembly order matches the serial loop nest.
+	stps, err := parallel.Map(o.runner(), len(grShares)*len(smShares), func(i int) (float64, error) {
+		gr, sm := grShares[i/len(smShares)], smShares[i%len(smShares)]
+		pol := core.NewUGPUOffline([]core.Target{
+			{SMs: sm, Groups: gr},
+			{SMs: o.Cfg.NumSMs - sm, Groups: o.Cfg.ChannelGroups() - gr},
+		})
+		res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
+		if err != nil {
+			return 0, err
+		}
+		stp, _ := metrics.Score(res, ref)
+		return stp, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for gi, gr := range grShares {
 		s := Series{Name: fmt.Sprintf("%d groups (%d MCs)", gr, gr*o.Cfg.ChannelsPerGroup())}
-		for _, sm := range smShares {
-			pol := core.NewUGPUOffline([]core.Target{
-				{SMs: sm, Groups: gr},
-				{SMs: o.Cfg.NumSMs - sm, Groups: o.Cfg.ChannelGroups() - gr},
-			})
-			res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			stp, _ := metrics.Score(res, ref)
+		for si, sm := range smShares {
+			stp := stps[gi*len(smShares)+si]
 			s.Labels = append(s.Labels, fmt.Sprintf("%dSM", sm))
 			s.Values = append(s.Values, stp)
 			o.logf("  PVC share %dSM/%dgr -> STP %.3f\n", sm, gr, stp)
@@ -158,25 +179,38 @@ func (o Options) Figure10() (Figure, error) {
 		labels[i] = fmt.Sprintf("wl%d", i+1)
 	}
 	labels[len(mixes)] = "mean"
-	for _, c := range cases {
+
+	// Flat fan-out over every (policy, mix) pair: each task builds its own
+	// fresh policy instance and GPU, so tasks share nothing but the
+	// singleflight-guarded AloneIPC cache.
+	type score struct{ stp, antt float64 }
+	scores, err := parallel.Map(o.runner(), len(cases)*len(mixes), func(i int) (score, error) {
+		c, mix := cases[i/len(mixes)], mixes[i%len(mixes)]
+		pol, err := c.make(mix)
+		if err != nil {
+			return score{}, err
+		}
+		res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
+		if err != nil {
+			return score{}, err
+		}
+		ref, err := alone.Table(mix)
+		if err != nil {
+			return score{}, err
+		}
+		s, a := metrics.Score(res, ref)
+		return score{s, a}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for ci, c := range cases {
 		var stps, antts []float64
-		for _, mix := range mixes {
-			pol, err := c.make(mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			ref, err := alone.Table(mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			s, a := metrics.Score(res, ref)
-			stps = append(stps, s)
-			antts = append(antts, a)
-			o.logf("  %-13s %-22s STP=%.3f ANTT=%.3f\n", c.name, mix.Name, s, a)
+		for mi, mix := range mixes {
+			sc := scores[ci*len(mixes)+mi]
+			stps = append(stps, sc.stp)
+			antts = append(antts, sc.antt)
+			o.logf("  %-13s %-22s STP=%.3f ANTT=%.3f\n", c.name, mix.Name, sc.stp, sc.antt)
 		}
 		sorted := sortedByValue(stps)
 		fig.Series = append(fig.Series, Series{
@@ -199,15 +233,20 @@ func (o Options) Figure11() (Figure, error) {
 	mixes := o.heteroMixes()
 	alone := o.aloneRef()
 	fig := Figure{ID: "Figure 11", Title: "PageMove benefit breakdown (mean STP)"}
-	pols := []core.Policy{core.NewBP(), core.NewUGPUOri(o.Cfg), core.NewUGPUSoft(o.Cfg), core.NewUGPU(o.Cfg)}
+	mks := []func() core.Policy{
+		func() core.Policy { return core.NewBP() },
+		func() core.Policy { return core.NewUGPUOri(o.Cfg) },
+		func() core.Policy { return core.NewUGPUSoft(o.Cfg) },
+		func() core.Policy { return core.NewUGPU(o.Cfg) },
+	}
 	var labels []string
 	var values []float64
-	for _, pol := range pols {
-		stp, _, err := o.scored(pol, mixes, alone)
+	for _, mk := range mks {
+		stp, _, err := o.scored(mk, mixes, alone)
 		if err != nil {
 			return Figure{}, err
 		}
-		labels = append(labels, pol.Name())
+		labels = append(labels, mk().Name())
 		values = append(values, Mean(stp))
 	}
 	fig.Series = []Series{{Name: "mean STP", Labels: labels, Values: values}}
@@ -221,20 +260,27 @@ func (o Options) Figure11() (Figure, error) {
 func (o Options) Figure12a() (Figure, error) {
 	mixes := o.heteroMixes()
 	fig := Figure{ID: "Figure 12a", Title: "fraction of epoch time spent on resource reallocation"}
+	type frac struct{ mean, worst float64 }
+	fracs, err := parallel.Map(o.runner(), len(mixes), func(i int) (frac, error) {
+		res, err := core.RunPolicy(o.Cfg, o.withScale(core.NewUGPU(o.Cfg)), mixes[i])
+		if err != nil {
+			return frac{}, err
+		}
+		return frac{res.MigFracMean, res.MigFracWorst}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
 	var meanS, worstS Series
 	meanS.Name, worstS.Name = "mean fraction", "worst fraction"
 	var means []float64
-	for _, mix := range mixes {
-		res, err := core.RunPolicy(o.Cfg, o.withScale(core.NewUGPU(o.Cfg)), mix)
-		if err != nil {
-			return Figure{}, err
-		}
+	for i, mix := range mixes {
 		meanS.Labels = append(meanS.Labels, mix.Name)
-		meanS.Values = append(meanS.Values, res.MigFracMean)
+		meanS.Values = append(meanS.Values, fracs[i].mean)
 		worstS.Labels = append(worstS.Labels, mix.Name)
-		worstS.Values = append(worstS.Values, res.MigFracWorst)
-		means = append(means, res.MigFracMean)
-		o.logf("  %-22s migfrac mean=%.3f worst=%.3f\n", mix.Name, res.MigFracMean, res.MigFracWorst)
+		worstS.Values = append(worstS.Values, fracs[i].worst)
+		means = append(means, fracs[i].mean)
+		o.logf("  %-22s migfrac mean=%.3f worst=%.3f\n", mix.Name, fracs[i].mean, fracs[i].worst)
 	}
 	fig.Notes = append(fig.Notes,
 		fmt.Sprintf("overall mean fraction: %.3f (paper: 8.9%% mean, 19.5%% worst case)", Mean(means)))
@@ -248,15 +294,16 @@ func (o Options) Figure12b() (Figure, error) {
 	mixes := o.heteroMixes()
 	model := metrics.DefaultEnergy()
 	fig := Figure{ID: "Figure 12b", Title: "energy: core/HBM split and UGPU vs BP"}
-	var memFrac, memDelta, totalDelta []float64
-	for _, mix := range mixes {
+	type delta struct{ memFrac, memDelta, totalDelta float64 }
+	deltas, err := parallel.Map(o.runner(), len(mixes), func(i int) (delta, error) {
+		mix := mixes[i]
 		bp, err := core.RunPolicy(o.Cfg, o.withScale(core.NewBP()), mix)
 		if err != nil {
-			return Figure{}, err
+			return delta{}, err
 		}
 		ug, err := core.RunPolicy(o.Cfg, o.withScale(core.NewUGPU(o.Cfg)), mix)
 		if err != nil {
-			return Figure{}, err
+			return delta{}, err
 		}
 		// The paper reports the memory-system energy increase raw (equal
 		// cycle counts; migrations and extra throughput add energy) but the
@@ -264,9 +311,20 @@ func (o Options) Figure12b() (Figure, error) {
 		// the static/constant energy a workload consumes). Mirror both.
 		eBP, eUG := model.Energy(o.Cfg, bp), model.Energy(o.Cfg, ug)
 		wBP, wUG := float64(totalInstr(bp)), float64(totalInstr(ug))
-		memFrac = append(memFrac, eBP.MemFraction())
-		memDelta = append(memDelta, eUG.HBM/eBP.HBM-1)
-		totalDelta = append(totalDelta, (eUG.Total()/wUG)/(eBP.Total()/wBP)-1)
+		return delta{
+			memFrac:    eBP.MemFraction(),
+			memDelta:   eUG.HBM/eBP.HBM - 1,
+			totalDelta: (eUG.Total()/wUG)/(eBP.Total()/wBP) - 1,
+		}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var memFrac, memDelta, totalDelta []float64
+	for _, d := range deltas {
+		memFrac = append(memFrac, d.memFrac)
+		memDelta = append(memDelta, d.memDelta)
+		totalDelta = append(totalDelta, d.totalDelta)
 	}
 	fig.Series = []Series{
 		{Name: "BP HBM energy fraction", Labels: mixNames(mixes), Values: memFrac},
@@ -304,25 +362,37 @@ func (o Options) Figure13() (Figure, error) {
 		name string
 		mk   func() core.Policy
 	}
-	for _, e := range []entry{
+	cases := []entry{
 		{"BP", func() core.Policy { return core.NewBP() }},
 		{"BP(CD-Search)", func() core.Policy { return core.NewCDSearch(o.Cfg) }},
 		{"UGPU", func() core.Policy { return core.NewUGPU(o.Cfg) }},
-	} {
+	}
+	// CD-Search carries per-run state, so each task builds a fresh policy via
+	// the case's factory; the (case, mix) grid fans out flat.
+	type score struct{ stp, antt float64 }
+	scores, err := parallel.Map(o.runner(), len(cases)*len(mixes), func(i int) (score, error) {
+		e, mix := cases[i/len(mixes)], mixes[i%len(mixes)]
+		res, err := core.RunPolicy(o.Cfg, o.withScale(e.mk()), mix)
+		if err != nil {
+			return score{}, err
+		}
+		ref, err := alone.Table(mix)
+		if err != nil {
+			return score{}, err
+		}
+		s, a := metrics.Score(res, ref)
+		return score{s, a}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for ci, e := range cases {
 		var stps, antts []float64
-		for _, mix := range mixes {
-			res, err := core.RunPolicy(o.Cfg, o.withScale(e.mk()), mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			ref, err := alone.Table(mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			s, a := metrics.Score(res, ref)
-			stps = append(stps, s)
-			antts = append(antts, a)
-			o.logf("  %-14s %-22s STP=%.3f\n", e.name, mix.Name, s)
+		for mi, mix := range mixes {
+			sc := scores[ci*len(mixes)+mi]
+			stps = append(stps, sc.stp)
+			antts = append(antts, sc.antt)
+			o.logf("  %-14s %-22s STP=%.3f\n", e.name, mix.Name, sc.stp)
 		}
 		fig.Series = append(fig.Series,
 			Series{Name: e.name + " STP", Labels: []string{"mean"}, Values: []float64{Mean(stps)}},
@@ -348,11 +418,11 @@ func (o Options) Figure14() (Figure, error) {
 		{"4-program", workload.FourProgramMixes(n, 11)},
 		{"8-program", workload.EightProgramMixes(n, 13)},
 	} {
-		bpSTP, bpANTT, err := o.scored(core.NewBP(), set.mixes, alone)
+		bpSTP, bpANTT, err := o.scored(func() core.Policy { return core.NewBP() }, set.mixes, alone)
 		if err != nil {
 			return Figure{}, err
 		}
-		ugSTP, ugANTT, err := o.scored(core.NewUGPU(o.Cfg), set.mixes, alone)
+		ugSTP, ugANTT, err := o.scored(func() core.Policy { return core.NewUGPU(o.Cfg) }, set.mixes, alone)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -374,11 +444,11 @@ func (o Options) Figure15() (Figure, error) {
 		mixes = mixes[:o.Mixes]
 	}
 	alone := o.aloneRef()
-	bpSTP, bpANTT, err := o.scored(core.NewBP(), mixes, alone)
+	bpSTP, bpANTT, err := o.scored(func() core.Policy { return core.NewBP() }, mixes, alone)
 	if err != nil {
 		return Figure{}, err
 	}
-	ugSTP, ugANTT, err := o.scored(core.NewUGPU(o.Cfg), mixes, alone)
+	ugSTP, ugANTT, err := o.scored(func() core.Policy { return core.NewUGPU(o.Cfg) }, mixes, alone)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -428,30 +498,38 @@ func (o Options) Figure16() (Figure, error) {
 			return core.NewUGPUQoS(o.Cfg, ref, target), nil
 		}},
 	}
-	for _, c := range cases {
+	type score struct{ np, stp float64 }
+	scores, err := parallel.Map(o.runner(), len(cases)*len(qosMixes), func(i int) (score, error) {
+		c, mix := cases[i/len(qosMixes)], qosMixes[i%len(qosMixes)]
+		pol, err := c.mk(mix)
+		if err != nil {
+			return score{}, err
+		}
+		res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
+		if err != nil {
+			return score{}, err
+		}
+		ref, err := alone.Table(mix)
+		if err != nil {
+			return score{}, err
+		}
+		stp, _ := metrics.Score(res, ref)
+		return score{np: metrics.NP(res.Apps[0].IPC, ref[0]), stp: stp}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for ci, c := range cases {
 		var nps, stps []float64
 		violations := 0
-		for _, mix := range qosMixes {
-			pol, err := c.mk(mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			res, err := core.RunPolicy(o.Cfg, o.withScale(pol), mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			ref, err := alone.Table(mix)
-			if err != nil {
-				return Figure{}, err
-			}
-			stp, _ := metrics.Score(res, ref)
-			np := metrics.NP(res.Apps[0].IPC, ref[0])
-			nps = append(nps, np)
-			stps = append(stps, stp)
-			if np < target*0.97 {
+		for mi, mix := range qosMixes {
+			sc := scores[ci*len(qosMixes)+mi]
+			nps = append(nps, sc.np)
+			stps = append(stps, sc.stp)
+			if sc.np < target*0.97 {
 				violations++
 			}
-			o.logf("  %-5s %-22s NP=%.3f STP=%.3f\n", c.name, mix.Name, np, stp)
+			o.logf("  %-5s %-22s NP=%.3f STP=%.3f\n", c.name, mix.Name, sc.np, sc.stp)
 		}
 		fig.Series = append(fig.Series, Series{
 			Name:   c.name,
@@ -469,36 +547,44 @@ func (o Options) Figure16() (Figure, error) {
 // count per page.
 func (o Options) MigrationMicro() (Figure, error) {
 	cfg := o.Cfg
-	mapper := addr.NewCustomMapper(cfg)
 	fig := Figure{ID: "Sec 4.5", Title: "page migration microbenchmark (idle system)"}
-	var labels []string
-	var lat []float64
-	for _, mc := range []struct {
+	modes := []struct {
 		name string
 		mode dram.MigrationMode
 	}{
 		{"PPMM", dram.ModePPMM},
 		{"read/write", dram.ModeReadWrite},
 		{"cross-stack", dram.ModeCrossStack},
-	} {
+	}
+	// Each mode drives its own HBM instance and address mapper, so the three
+	// microbenchmarks are independent tasks.
+	lat, err := parallel.Map(o.runner(), len(modes), func(i int) (float64, error) {
+		mc := modes[i]
+		mapper := addr.NewCustomMapper(cfg)
 		h := dram.New(cfg, 1)
 		src := mapper.PageLines(mapper.FrameBase(0, 0))
 		dst := mapper.PageLines(mapper.FrameBase(1, 0))
 		if mc.mode == dram.ModeCrossStack {
-			for i := range dst {
-				dst[i].Stack = (dst[i].Stack + 1) % cfg.NumStacks
+			for j := range dst {
+				dst[j].Stack = (dst[j].Stack + 1) % cfg.NumStacks
 			}
 		}
 		var done uint64
 		pending := 1
 		if err := h.StartMigration(0, src, dst, mc.mode, 0, func(c uint64) { done = c; pending-- }); err != nil {
-			return Figure{}, err
+			return 0, err
 		}
 		for c := uint64(0); pending > 0 && c < 1_000_000; c++ {
 			h.Tick(c)
 		}
+		return float64(done), nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var labels []string
+	for _, mc := range modes {
 		labels = append(labels, mc.name)
-		lat = append(lat, float64(done))
 	}
 	fig.Series = []Series{{Name: "page migration cycles", Labels: labels, Values: lat}}
 	fig.Notes = append(fig.Notes,
@@ -515,29 +601,40 @@ func (o Options) PageSizeSensitivity() (Figure, error) {
 	dxtc, _ := workload.ByAbbr("DXTC")
 	mix := workload.Mix{Name: "PVC_DXTC", Apps: []workload.Benchmark{pvc, dxtc}, Hetero: true}
 	fig := Figure{ID: "Sec 6 sensitivity", Title: "UGPU/BP STP ratio vs page size"}
-	var labels []string
-	var ratio []float64
-	for _, page := range []int{4096, 8192, 16384} {
+	pages := []int{4096, 8192, 16384}
+	// Each page size changes the config shape, so every task carries its own
+	// Options copy and AloneIPC reference (solo runs are not shareable across
+	// page sizes).
+	type pair struct{ bp, ug float64 }
+	pairs, err := parallel.Map(o.runner(), len(pages), func(i int) (pair, error) {
 		op := o
-		op.Cfg.PageBytes = page
+		op.Cfg.PageBytes = pages[i]
 		alone := op.aloneRef()
 		ref, err := alone.Table(mix)
 		if err != nil {
-			return Figure{}, err
+			return pair{}, err
 		}
 		bp, err := core.RunPolicy(op.Cfg, op.withScale(core.NewBP()), mix)
 		if err != nil {
-			return Figure{}, err
+			return pair{}, err
 		}
 		ug, err := core.RunPolicy(op.Cfg, op.withScale(core.NewUGPU(op.Cfg)), mix)
 		if err != nil {
-			return Figure{}, err
+			return pair{}, err
 		}
 		bpSTP, _ := metrics.Score(bp, ref)
 		ugSTP, _ := metrics.Score(ug, ref)
+		return pair{bp: bpSTP, ug: ugSTP}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var labels []string
+	var ratio []float64
+	for i, page := range pages {
 		labels = append(labels, fmt.Sprintf("%dKB", page/1024))
-		ratio = append(ratio, ugSTP/bpSTP)
-		o.logf("  page %dKB: BP %.3f UGPU %.3f\n", page/1024, bpSTP, ugSTP)
+		ratio = append(ratio, pairs[i].ug/pairs[i].bp)
+		o.logf("  page %dKB: BP %.3f UGPU %.3f\n", page/1024, pairs[i].bp, pairs[i].ug)
 	}
 	fig.Series = []Series{{Name: "UGPU STP / BP STP", Labels: labels, Values: ratio}}
 	fig.Notes = append(fig.Notes, "paper: the PageMove idea works across page sizes")
@@ -549,35 +646,48 @@ func (o Options) PageSizeSensitivity() (Figure, error) {
 func (o Options) Table2Profiles() (Figure, error) {
 	fig := Figure{ID: "Table 2", Title: "benchmark profiles: simulated APKI vs paper MPKI"}
 	bw := core.BandwidthFor(o.Cfg)
-	var apki, table, class Series
-	apki.Name, table.Name, class.Name = "simulated APKI", "paper MPKI", "memory-bound (1=yes)"
-	for _, b := range workload.Table2() {
+	benches := workload.Table2()
+	type profile struct {
+		apki, hit float64
+		memBound  bool
+	}
+	profiles, err := parallel.Map(o.runner(), len(benches), func(i int) (profile, error) {
+		b := benches[i]
 		// Profile at the balanced-partition operating point (half the GPU:
 		// 40 SMs, 4 channel groups) — the allocation at which the paper's
 		// bandwidth-demand classification decides reallocation direction.
 		ids := make([]int, o.Cfg.ChannelGroups()/2)
-		for i := range ids {
-			ids[i] = i
+		for j := range ids {
+			ids[j] = j
 		}
 		g, err := gpu.New(o.Cfg, []gpu.AppSpec{{Bench: b, SMs: o.Cfg.NumSMs / 2, Groups: ids}}, o.gpuOptions())
 		if err != nil {
-			return Figure{}, err
+			return profile{}, err
 		}
 		g.Run(uint64(o.Cfg.MaxCycles))
 		st := g.EndEpoch()[0]
 		p := core.ProfileOf(st)
+		return profile{apki: st.APKI(), hit: st.HitRate(), memBound: bw.MemoryBound(p)}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var apki, table, class Series
+	apki.Name, table.Name, class.Name = "simulated APKI", "paper MPKI", "memory-bound (1=yes)"
+	for i, b := range benches {
+		pr := profiles[i]
 		apki.Labels = append(apki.Labels, b.Abbr)
-		apki.Values = append(apki.Values, st.APKI())
+		apki.Values = append(apki.Values, pr.apki)
 		table.Labels = append(table.Labels, b.Abbr)
 		table.Values = append(table.Values, b.TableMPKI)
 		class.Labels = append(class.Labels, b.Abbr)
 		v := 0.0
-		if bw.MemoryBound(p) {
+		if pr.memBound {
 			v = 1
 		}
 		class.Values = append(class.Values, v)
 		o.logf("  %-8s APKI=%7.2f H=%.2f class=%v (table MPKI %.2f, %v)\n",
-			b.Abbr, st.APKI(), st.HitRate(), bw.MemoryBound(p), b.TableMPKI, b.Class)
+			b.Abbr, pr.apki, pr.hit, pr.memBound, b.TableMPKI, b.Class)
 	}
 	fig.Series = []Series{apki, table, class}
 	fig.Notes = append(fig.Notes,

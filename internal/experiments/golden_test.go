@@ -1,0 +1,59 @@
+package experiments
+
+// Golden determinism tests: the parallel sweep fan-out must produce output
+// byte-identical to serial execution. Figures are compared structurally
+// (every series label and value) and the buffered progress logs are compared
+// as raw bytes. Figure 10 and Figure 14 are the ISSUE's canonical pair: one
+// policy-free sweep and one policy-factory sweep.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// runFig executes one generator under the given worker count, capturing the
+// progress log.
+func runFig(t *testing.T, workers int, mixes int, gen func(Options) (Figure, error)) (Figure, string) {
+	t.Helper()
+	o := tiny()
+	o.Mixes = mixes
+	o.Parallel = workers
+	var log bytes.Buffer
+	o.Log = &log
+	f, err := gen(o)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return f, log.String()
+}
+
+func assertGolden(t *testing.T, name string, gen func(Options) (Figure, error)) {
+	t.Helper()
+	serial, serialLog := runFig(t, 1, 2, gen)
+	for _, workers := range []int{2, 4} {
+		par, parLog := runFig(t, workers, 2, gen)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("%s: parallel(%d) figure differs from serial\nserial:   %+v\nparallel: %+v",
+				name, workers, serial, par)
+		}
+		if serialLog != parLog {
+			t.Errorf("%s: parallel(%d) progress log not byte-identical to serial\nserial:\n%s\nparallel:\n%s",
+				name, workers, serialLog, parLog)
+		}
+	}
+}
+
+func TestGoldenFigure10ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	assertGolden(t, "Figure10", func(o Options) (Figure, error) { return o.Figure10() })
+}
+
+func TestGoldenFigure14ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	assertGolden(t, "Figure14", func(o Options) (Figure, error) { return o.Figure14() })
+}

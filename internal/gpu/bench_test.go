@@ -1,0 +1,65 @@
+package gpu
+
+// Hot-path benchmarks. BenchmarkSimulatorThroughput drives a full two-app
+// shared GPU (the common experiment shape) and reports allocations per
+// simulated run; the allocation count is the regression metric for the
+// event-wheel, NoC, MSHR, and request-pool optimizations. Run with
+//
+//	go test -bench SimulatorThroughput -benchmem ./internal/gpu/
+//
+// Seed baseline (before pooling): ~1.42M allocs/op for this workload.
+
+import (
+	"testing"
+
+	"ugpu/internal/workload"
+)
+
+func benchGPU(b *testing.B) *GPU {
+	b.Helper()
+	cfg := testConfig()
+	lbm, err := workload.ByAbbr("LBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dxtc, err := workload.ByAbbr("DXTC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.FootprintScale = 64
+	g, err := New(cfg, []AppSpec{
+		{Bench: lbm, SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: dxtc, SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSimulatorThroughput measures one full 60k-cycle simulation per
+// iteration, including construction (steady-state pools amortize within the
+// run). ns/op ~= wall-clock per sim; allocs/op is the pooling metric.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := benchGPU(b)
+		g.Run(uint64(g.Config().MaxCycles))
+		if g.Totals().Loads == 0 {
+			b.Fatal("benchmark simulated no loads")
+		}
+	}
+}
+
+// BenchmarkSteadyStateCycles isolates the per-cycle cost after warm-up:
+// construction and the first epoch are excluded, so allocs/op measures only
+// the recurring tick/memory-path work that the freelists are meant to
+// eliminate.
+func BenchmarkSteadyStateCycles(b *testing.B) {
+	g := benchGPU(b)
+	g.Run(20_000) // warm caches, pools, and TLBs
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(uint64(b.N))
+}

@@ -4,37 +4,103 @@ package gpu
 // model are below the wheel horizon (32768 cycles covers the 28000-cycle
 // page-fault delay); later events spill into an overflow slice that is
 // scanned only when its earliest deadline is due.
+//
+// Events are typed, not closures: the hottest callbacks (a warp's load
+// completing, a DRAM fill arriving at an LLC slice, an L2 TLB lookup) carry
+// their few words of context inside the wheelEvent value, so scheduling them
+// does not allocate. Rare events (driver delays, epoch hooks) still use the
+// generic evFn kind with a closure. Fired bucket arrays are recycled through
+// a small spare pool, so steady-state wheel operation stays allocation-free.
+
+import "ugpu/internal/sm"
 
 const wheelSize = 1 << 15 // must be a power of two
 
+// Event kinds. evFn is the generic closure fallback; the others are the
+// allocation-free hot paths.
+const (
+	evFn          uint8 = iota // run fn(cycle)
+	evWarpDone                 // w.LoadDone()
+	evDramFill                 // g.dramFill(cycle, idx, pa)
+	evL2Translate              // g.l2Translate(cycle, app, vpn)
+)
+
 type wheelEvent struct {
-	at uint64
-	fn func(cycle uint64)
+	at   uint64
+	kind uint8
+	app  int32
+	idx  int32 // LLC slice index (evDramFill)
+	vpn  uint64
+	pa   uint64
+	w    *sm.Warp
+	fn   func(cycle uint64)
 }
 
 type wheel struct {
+	// g is the dispatch target for typed events. It is set by gpu.New; a
+	// zero-value wheel (tests) supports only evFn events.
+	g *GPU
+
 	buckets  [wheelSize][]wheelEvent
 	overflow []wheelEvent
 	overMin  uint64
 	pending  int
+
+	// spare recycles fired bucket backing arrays.
+	spare [][]wheelEvent
+}
+
+// fire dispatches one due event.
+func (w *wheel) fire(ev *wheelEvent, cycle uint64) {
+	switch ev.kind {
+	case evFn:
+		ev.fn(cycle)
+	case evWarpDone:
+		ev.w.LoadDone()
+	case evDramFill:
+		w.g.dramFill(cycle, int(ev.idx), ev.pa)
+	case evL2Translate:
+		w.g.l2Translate(cycle, int(ev.app), ev.vpn)
+	}
 }
 
 // schedule runs fn at cycle `at` (or immediately on the current tick if at
 // <= now).
 func (w *wheel) schedule(now, at uint64, fn func(uint64)) {
-	if at < now {
-		at = now
+	w.scheduleEvent(now, wheelEvent{at: at, kind: evFn, fn: fn})
+}
+
+// scheduleEvent enqueues a typed event (ev.at clamped to now).
+func (w *wheel) scheduleEvent(now uint64, ev wheelEvent) {
+	if ev.at < now {
+		ev.at = now
 	}
 	w.pending++
-	if at-now < wheelSize {
-		idx := at & (wheelSize - 1)
-		w.buckets[idx] = append(w.buckets[idx], wheelEvent{at: at, fn: fn})
+	if ev.at-now < wheelSize {
+		idx := ev.at & (wheelSize - 1)
+		if w.buckets[idx] == nil && len(w.spare) > 0 {
+			w.buckets[idx] = w.spare[len(w.spare)-1]
+			w.spare = w.spare[:len(w.spare)-1]
+		}
+		w.buckets[idx] = append(w.buckets[idx], ev)
 		return
 	}
-	if len(w.overflow) == 0 || at < w.overMin {
-		w.overMin = at
+	if len(w.overflow) == 0 || ev.at < w.overMin {
+		w.overMin = ev.at
 	}
-	w.overflow = append(w.overflow, wheelEvent{at: at, fn: fn})
+	w.overflow = append(w.overflow, ev)
+}
+
+// recycle returns a fired bucket's backing array to the spare pool, clearing
+// pointer fields so recycled slots do not retain warps or closures.
+func (w *wheel) recycle(b []wheelEvent) {
+	if cap(b) == 0 || cap(b) > 1024 || len(w.spare) >= 64 {
+		return
+	}
+	for i := range b {
+		b[i] = wheelEvent{}
+	}
+	w.spare = append(w.spare, b[:0])
 }
 
 // run fires every event due at exactly this cycle. It must be called every
@@ -46,15 +112,17 @@ func (w *wheel) run(cycle uint64) {
 		b := w.buckets[idx]
 		w.buckets[idx] = nil
 		fired := false
-		for _, ev := range b {
+		for i := range b {
+			ev := &b[i]
 			if ev.at == cycle {
 				w.pending--
-				ev.fn(cycle)
 				fired = true
+				w.fire(ev, cycle)
 			} else {
-				w.buckets[idx] = append(w.buckets[idx], ev)
+				w.buckets[idx] = append(w.buckets[idx], *ev)
 			}
 		}
+		w.recycle(b)
 		if !fired {
 			break
 		}

@@ -92,11 +92,14 @@ type App struct {
 }
 
 // memReq is one in-flight L1 miss travelling through NoC, LLC, and DRAM.
+// Requests are pooled: l1Fill releases each one back to the GPU's freelist
+// when its round trip completes.
 type memReq struct {
-	app int
-	sm  int
-	pa  uint64
-	vpn uint64
+	app   int
+	sm    int
+	slice int // destination LLC slice (routes the tagged NoC callback)
+	pa    uint64
+	vpn   uint64
 }
 
 // llcSlice is one LLC slice with its MSHR and retry queues.
@@ -175,6 +178,23 @@ type GPU struct {
 	// Merged in-flight translations: key -> accesses awaiting the result.
 	transPending map[uint64][]migWaiter
 	replayQ      [][]replayReq // per SM: accesses parked on a full L1 MSHR
+
+	// Object pools and persistent callbacks for the allocation-free memory
+	// path: memReqs and dram.Requests are recycled, and the NoC/DRAM
+	// callbacks are allocated once here instead of per message.
+	freeReqs     []*memReq
+	freeDramReqs []*dram.Request
+	freeWaiters  [][]migWaiter // recycled transPending waiter slices
+	onLLCArrive  func(at uint64, arg any)
+	onSMReply    func(at uint64, arg any)
+	dramDone     func(finish uint64, r *dram.Request)
+	ctxDone      func(finish uint64, r *dram.Request)
+	onWalkDone   func(cycle uint64, key uint64)
+
+	// parkedTotal/toDramTotal count requests parked across all LLC slices so
+	// retrySlices can skip its scan when nothing is waiting.
+	parkedTotal int
+	toDramTotal int
 
 	// Migration orchestration.
 	migInFlight map[uint64]bool
@@ -288,6 +308,22 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 		migInFlight:  make(map[uint64]bool),
 		pageShift:    log2of(cfg.PageBytes),
 		lineShift:    log2of(cfg.L1LineBytes),
+	}
+	g.wheel.g = g
+	g.onLLCArrive = func(at uint64, arg any) {
+		req := arg.(*memReq)
+		g.llcArrive(at, req.slice, req)
+	}
+	g.onSMReply = func(at uint64, arg any) {
+		g.l1Fill(at, arg.(*memReq))
+	}
+	g.dramDone = func(finish uint64, r *dram.Request) {
+		g.wheel.scheduleEvent(g.cycle, wheelEvent{at: finish, kind: evDramFill, idx: r.Tag, pa: r.Addr})
+		g.releaseDramReq(r)
+	}
+	g.ctxDone = func(_ uint64, r *dram.Request) { g.releaseDramReq(r) }
+	g.onWalkDone = func(done uint64, key uint64) {
+		g.walkDone(done, tlb.AppOf(key), key>>4)
 	}
 	for i := range g.sms {
 		g.sms[i] = sm.New(i, cfg.TBsPerSM(), cfg.WarpsPerTB, cfg.SchedulersPerSM)

@@ -12,6 +12,41 @@ import (
 	"ugpu/internal/tlb"
 )
 
+// newMemReq pops a request from the GPU's freelist (refilled in l1Fill,
+// where every request's life ends) or allocates one. Reusing requests keeps
+// the per-load steady state allocation-free.
+func (g *GPU) newMemReq(app, smID, slice int, pa, vpn uint64) *memReq {
+	var req *memReq
+	if n := len(g.freeReqs); n > 0 {
+		req = g.freeReqs[n-1]
+		g.freeReqs[n-1] = nil
+		g.freeReqs = g.freeReqs[:n-1]
+	} else {
+		req = new(memReq)
+	}
+	*req = memReq{app: app, sm: smID, slice: slice, pa: pa, vpn: vpn}
+	return req
+}
+
+// newDramReq pops a dram.Request from the freelist (refilled by the shared
+// dramDone/ctxDone callbacks once the controller is finished with it).
+func (g *GPU) newDramReq() *dram.Request {
+	if n := len(g.freeDramReqs); n > 0 {
+		r := g.freeDramReqs[n-1]
+		g.freeDramReqs[n-1] = nil
+		g.freeDramReqs = g.freeDramReqs[:n-1]
+		return r
+	}
+	return new(dram.Request)
+}
+
+// releaseDramReq returns a completed DRAM request to the freelist. Callers
+// must not retain the request afterwards.
+func (g *GPU) releaseDramReq(r *dram.Request) {
+	*r = dram.Request{}
+	g.freeDramReqs = append(g.freeDramReqs, r)
+}
+
 // IssueLoad implements sm.Port. Loads are always accepted; backpressure is
 // modelled by the L1 MSHR replay queue and the warp's outstanding-load
 // bound, so an accepted load always eventually calls w.LoadDone.
@@ -41,9 +76,18 @@ func (g *GPU) IssueLoad(cycle uint64, smID, appID int, va uint64, w *sm.Warp) bo
 		g.transPending[key] = append(ws, migWaiter{sm: smID, va: va, w: w, app: appID})
 		return true
 	}
-	g.transPending[key] = append(make([]migWaiter, 0, 4), migWaiter{sm: smID, va: va, w: w, app: appID})
-	g.wheel.schedule(cycle, cycle+uint64(g.cfg.L2TLBLatency), func(at uint64) {
-		g.l2Translate(at, appID, vpn)
+	var ws []migWaiter
+	if n := len(g.freeWaiters); n > 0 {
+		ws = g.freeWaiters[n-1]
+		g.freeWaiters[n-1] = nil
+		g.freeWaiters = g.freeWaiters[:n-1]
+	} else {
+		ws = make([]migWaiter, 0, 4)
+	}
+	g.transPending[key] = append(ws, migWaiter{sm: smID, va: va, w: w, app: appID})
+	g.wheel.scheduleEvent(cycle, wheelEvent{
+		at: cycle + uint64(g.cfg.L2TLBLatency), kind: evL2Translate,
+		app: int32(appID), vpn: vpn,
 	})
 	return true
 }
@@ -72,7 +116,7 @@ func (g *GPU) l1AccessAsync(cycle uint64, smID, appID int, pa, vpn uint64, w *sm
 
 func (g *GPU) scheduleWarpDone(now, at uint64, appID int, vpn uint64, w *sm.Warp) {
 	g.maybeCheck(appID, vpn)
-	g.wheel.schedule(now, at, func(uint64) { w.LoadDone() })
+	g.wheel.scheduleEvent(now, wheelEvent{at: at, kind: evWarpDone, w: w})
 }
 
 // maybeCheck samples data-correctness verification (content tags).
@@ -99,11 +143,9 @@ func (g *GPU) sliceOf(pa uint64) int {
 }
 
 func (g *GPU) sendToLLC(cycle uint64, smID, appID int, pa, vpn uint64) {
-	req := &memReq{app: appID, sm: smID, pa: pa, vpn: vpn}
 	slice := g.sliceOf(pa)
-	g.reqNet.Send(cycle, smID, slice, 32, func(at uint64) {
-		g.llcArrive(at, slice, req)
-	})
+	req := g.newMemReq(appID, smID, slice, pa, vpn)
+	g.reqNet.SendTagged(cycle, smID, slice, 32, g.onLLCArrive, req)
 }
 
 func (g *GPU) llcArrive(at uint64, sliceIdx int, req *memReq) {
@@ -119,6 +161,7 @@ func (g *GPU) llcArrive(at uint64, sliceIdx int, req *memReq) {
 	alloc, ok := sl.mshr.Add(line, req)
 	if !ok {
 		sl.parked = append(sl.parked, req)
+		g.parkedTotal++
 		return
 	}
 	if alloc {
@@ -127,18 +170,17 @@ func (g *GPU) llcArrive(at uint64, sliceIdx int, req *memReq) {
 }
 
 func (g *GPU) llcToDram(at uint64, sliceIdx int, req *memReq) {
-	dreq := &dram.Request{
+	dreq := g.newDramReq()
+	*dreq = dram.Request{
 		Addr:  req.pa,
 		Loc:   g.mapper.Decode(req.pa),
 		AppID: req.app,
-		Done: func(finish uint64, _ *dram.Request) {
-			g.wheel.schedule(g.cycle, finish, func(c uint64) {
-				g.dramFill(c, sliceIdx, req.pa)
-			})
-		},
+		Tag:   int32(sliceIdx),
+		Done:  g.dramDone,
 	}
 	if !g.hbm.Enqueue(at, dreq) {
 		g.slices[sliceIdx].toDram = append(g.slices[sliceIdx].toDram, dreq)
+		g.toDramTotal++
 	}
 }
 
@@ -146,9 +188,11 @@ func (g *GPU) dramFill(at uint64, sliceIdx int, pa uint64) {
 	sl := g.slices[sliceIdx]
 	sl.cache.Fill(pa)
 	line := pa >> g.lineShift
-	for _, wtr := range sl.mshr.Remove(line) {
+	ws := sl.mshr.Remove(line)
+	for _, wtr := range ws {
 		g.replyToSM(at, sliceIdx, wtr.(*memReq))
 	}
+	sl.mshr.Recycle(ws)
 	g.drainParked(at, sliceIdx, len(sl.parked))
 }
 
@@ -171,26 +215,35 @@ func (g *GPU) drainParked(at uint64, sliceIdx int, limit int) {
 		}
 	}
 	if n > 0 {
-		sl.parked = append(sl.parked[:0], sl.parked[n:]...)
+		tail := len(sl.parked) - n
+		copy(sl.parked, sl.parked[n:])
+		for i := tail; i < len(sl.parked); i++ {
+			sl.parked[i] = nil
+		}
+		sl.parked = sl.parked[:tail]
+		g.parkedTotal -= n
 	}
 }
 
 func (g *GPU) replyToSM(at uint64, sliceIdx int, req *memReq) {
 	// Reply carries one cache line plus header.
-	g.rspNet.Send(at, sliceIdx, req.sm, g.cfg.L1LineBytes+32, func(arr uint64) {
-		g.l1Fill(arr, req)
-	})
+	g.rspNet.SendTagged(at, sliceIdx, req.sm, g.cfg.L1LineBytes+32, g.onSMReply, req)
 }
 
 func (g *GPU) l1Fill(at uint64, req *memReq) {
 	g.smL1[req.sm].Fill(req.pa)
 	line := req.pa >> g.lineShift
-	for _, wtr := range g.smMSHR[req.sm].Remove(line) {
+	mshr := g.smMSHR[req.sm]
+	ws := mshr.Remove(line)
+	for _, wtr := range ws {
 		w := wtr.(*sm.Warp)
 		g.maybeCheck(req.app, req.vpn)
 		w.LoadDone()
 	}
+	mshr.Recycle(ws)
 	g.drainReplays(at, req.sm)
+	// The request's life ends here on both the hit and miss paths; recycle it.
+	g.freeReqs = append(g.freeReqs, req)
 }
 
 // drainReplays re-attempts parked post-translation accesses now that MSHR
@@ -228,8 +281,12 @@ func (g *GPU) l1AccessAsyncNoPark(cycle uint64, smID int, r replayReq) {
 	}
 }
 
-// retrySlices replays parked LLC work each cycle.
+// retrySlices replays parked LLC work each cycle. The idle fast path skips
+// the 64-slice scan entirely when nothing is parked anywhere.
 func (g *GPU) retrySlices(cycle uint64) {
+	if g.toDramTotal == 0 && g.parkedTotal == 0 {
+		return
+	}
 	spc := g.cfg.SlicesPerChannel()
 	for idx, sl := range g.slices {
 		if len(sl.toDram) > 0 && g.hbm.QueueSpace(idx/spc) > 0 {
@@ -240,7 +297,13 @@ func (g *GPU) retrySlices(cycle uint64) {
 				}
 			}
 			if n > 0 {
-				sl.toDram = append(sl.toDram[:0], sl.toDram[n:]...)
+				tail := len(sl.toDram) - n
+				copy(sl.toDram, sl.toDram[n:])
+				for i := tail; i < len(sl.toDram); i++ {
+					sl.toDram[i] = nil
+				}
+				sl.toDram = sl.toDram[:tail]
+				g.toDramTotal -= n
 			}
 		}
 		g.drainParked(cycle, idx, 4)
@@ -265,26 +328,30 @@ func (g *GPU) l2Translate(at uint64, appID int, vpn uint64) {
 		g.resolveTranslation(at, appID, vpn, pa, false)
 		return
 	}
-	g.walker.Enqueue(at, func(done uint64) {
-		pa, ok := g.vmm.Translate(appID, vpn)
-		if !ok {
-			// Demand fault (should not happen with eager allocation, but
-			// kept for completeness): driver allocates a page.
-			g.wheel.schedule(done, done+uint64(g.cfg.DriverDelay), func(c uint64) {
-				npa := g.vmm.HandleFault(appID, vpn)
-				g.resolveTranslation(c, appID, vpn, npa, true)
-			})
-			return
-		}
-		if !g.opt.DisableMigration && g.vmm.NeedsMigration(appID, vpn, pa) {
-			g.faultMigrate(done, appID, vpn)
-			return
-		}
-		if !g.opt.DisableMigration && g.vmm.WantsRebalance(appID, vpn, pa) {
-			g.asyncRebalance(done, appID, vpn)
-		}
-		g.resolveTranslation(done, appID, vpn, pa, true)
-	})
+	g.walker.EnqueueTagged(at, key, g.onWalkDone)
+}
+
+// walkDone is the page-table-walk completion path, reached via the shared
+// onWalkDone callback so enqueuing a walk does not allocate.
+func (g *GPU) walkDone(done uint64, appID int, vpn uint64) {
+	pa, ok := g.vmm.Translate(appID, vpn)
+	if !ok {
+		// Demand fault (should not happen with eager allocation, but
+		// kept for completeness): driver allocates a page.
+		g.wheel.schedule(done, done+uint64(g.cfg.DriverDelay), func(c uint64) {
+			npa := g.vmm.HandleFault(appID, vpn)
+			g.resolveTranslation(c, appID, vpn, npa, true)
+		})
+		return
+	}
+	if !g.opt.DisableMigration && g.vmm.NeedsMigration(appID, vpn, pa) {
+		g.faultMigrate(done, appID, vpn)
+		return
+	}
+	if !g.opt.DisableMigration && g.vmm.WantsRebalance(appID, vpn, pa) {
+		g.asyncRebalance(done, appID, vpn)
+	}
+	g.resolveTranslation(done, appID, vpn, pa, true)
 }
 
 // resolveTranslation installs the translation and replays every merged
@@ -301,6 +368,15 @@ func (g *GPU) resolveTranslation(at uint64, appID int, vpn, pa uint64, fillL2 bo
 		g.smL1TLB[wtr.sm].Insert(key, pa)
 		wtr.w.LastVPN, wtr.w.LastPA, wtr.w.LastVer, wtr.w.LastValid = vpn, pa, g.transVersion, true
 		g.l1AccessAsync(at, wtr.sm, appID, pa|(wtr.va&off), vpn, wtr.w)
+	}
+	// Recycle the consumed waiter slice (bounded so pathological bursts do
+	// not pin memory forever).
+	if cap(waiters) > 0 && len(g.freeWaiters) < 256 {
+		waiters = waiters[:cap(waiters)]
+		for i := range waiters {
+			waiters[i] = migWaiter{}
+		}
+		g.freeWaiters = append(g.freeWaiters, waiters[:0])
 	}
 }
 

@@ -79,16 +79,18 @@ func (g *GPU) injectContextTraffic(cycle uint64, app *App) {
 		frame := g.mapper.FramesPerGroup() - 1 - uint64(i/len(groups))/uint64(g.cfg.LinesPerPage())
 		base := g.mapper.FrameBase(group, frame)
 		pa := base + uint64(i/len(groups))%uint64(g.cfg.LinesPerPage())*uint64(g.cfg.L1LineBytes)
-		req := &dram.Request{
+		req := g.newDramReq()
+		*req = dram.Request{
 			Addr:    pa,
 			Loc:     g.mapper.Decode(pa),
 			IsWrite: true,
 			AppID:   app.ID,
-			Done:    func(uint64, *dram.Request) {},
+			Done:    g.ctxDone,
 		}
 		if !g.hbm.Enqueue(cycle, req) {
 			// Memory saturated: drop the remainder; the closed-form
 			// switchCost still charges the latency.
+			g.releaseDramReq(req)
 			return
 		}
 	}

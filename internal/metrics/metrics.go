@@ -51,29 +51,83 @@ func NP(ipc, alone float64) float64 {
 // AloneIPC measures a benchmark's IPC running alone on the full GPU for the
 // configured MaxCycles — the IPC_alone reference of Equations 3-4. Results
 // are cached per (benchmark, config-shape) so sweeps do not repeat solo
-// runs. It is safe for concurrent use.
+// runs. It is safe for concurrent use: concurrent Get calls for the same
+// benchmark are coalesced onto one in-flight solo simulation
+// (singleflight), so parallel sweeps measure each benchmark exactly once.
 type AloneIPC struct {
 	cfg config.Config
 	opt gpu.Options
 
-	mu    sync.Mutex
-	cache map[string]float64
+	mu       sync.Mutex
+	cache    map[string]float64
+	inflight map[string]*aloneCall
+	measures uint64 // solo simulations actually executed (tests/diagnostics)
+}
+
+// aloneCall is one in-flight solo measurement; waiters block on done.
+type aloneCall struct {
+	done chan struct{}
+	v    float64
+	err  error
 }
 
 // NewAloneIPC builds a reference runner for the given configuration.
 func NewAloneIPC(cfg config.Config, opt gpu.Options) *AloneIPC {
-	return &AloneIPC{cfg: cfg, opt: opt, cache: make(map[string]float64)}
+	return &AloneIPC{
+		cfg:      cfg,
+		opt:      opt,
+		cache:    make(map[string]float64),
+		inflight: make(map[string]*aloneCall),
+	}
 }
 
-// Get returns the benchmark's solo IPC, measuring it on first use.
+// Get returns the benchmark's solo IPC, measuring it on first use. If
+// another goroutine is already measuring the same benchmark, Get waits for
+// that measurement instead of running a duplicate simulation; measurement
+// errors propagate to every waiter and are not cached (a later Get
+// retries).
 func (a *AloneIPC) Get(b workload.Benchmark) (float64, error) {
 	a.mu.Lock()
 	if v, ok := a.cache[b.Abbr]; ok {
 		a.mu.Unlock()
 		return v, nil
 	}
+	if c, ok := a.inflight[b.Abbr]; ok {
+		// Another goroutine is mid-measurement: wait for its result rather
+		// than running the same solo simulation twice.
+		a.mu.Unlock()
+		<-c.done
+		return c.v, c.err
+	}
+	c := &aloneCall{done: make(chan struct{})}
+	a.inflight[b.Abbr] = c
 	a.mu.Unlock()
 
+	c.v, c.err = a.measure(b)
+
+	a.mu.Lock()
+	if c.err == nil {
+		a.cache[b.Abbr] = c.v
+	}
+	delete(a.inflight, b.Abbr)
+	a.mu.Unlock()
+	close(c.done)
+	return c.v, c.err
+}
+
+// Measurements reports how many solo simulations actually ran (each cached
+// benchmark should cost exactly one, even under concurrent sweeps).
+func (a *AloneIPC) Measurements() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.measures
+}
+
+// measure runs the solo simulation (no locks held).
+func (a *AloneIPC) measure(b workload.Benchmark) (float64, error) {
+	a.mu.Lock()
+	a.measures++
+	a.mu.Unlock()
 	groups := make([]int, a.cfg.ChannelGroups())
 	for i := range groups {
 		groups[i] = i
@@ -84,12 +138,7 @@ func (a *AloneIPC) Get(b workload.Benchmark) (float64, error) {
 	}
 	g.Run(uint64(a.cfg.MaxCycles))
 	st := g.EndEpoch()[0]
-	v := st.IPC()
-
-	a.mu.Lock()
-	a.cache[b.Abbr] = v
-	a.mu.Unlock()
-	return v, nil
+	return st.IPC(), nil
 }
 
 // Table returns solo IPCs for every app of a mix.

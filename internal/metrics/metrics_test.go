@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -96,6 +97,42 @@ func TestAloneIPCCachesAndOrders(t *testing.T) {
 	a.Prime("X", 42)
 	if v, _ := a.Get(workload.Benchmark{Abbr: "X"}); v != 42 {
 		t.Errorf("Prime not honoured: %f", v)
+	}
+}
+
+func TestAloneIPCSingleflight(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxCycles = 8_000
+	cfg.EpochCycles = 8_000
+	opt := gpu.DefaultOptions()
+	opt.FootprintScale = 64
+	a := NewAloneIPC(cfg, opt)
+
+	dxtc, _ := workload.ByAbbr("DXTC")
+	const goroutines = 8
+	results := make([]float64, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = a.Get(dxtc)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("goroutine %d got IPC %f, goroutine 0 got %f", i, results[i], results[0])
+		}
+	}
+	// The double-checked-locking window used to let several goroutines run
+	// the same solo simulation; singleflight must coalesce them to one.
+	if got := a.Measurements(); got != 1 {
+		t.Errorf("%d solo simulations executed for one benchmark, want exactly 1", got)
 	}
 }
 

@@ -10,30 +10,72 @@
 // isolation between GPU slices that use disjoint SMs and LLC slices).
 package noc
 
-import "container/heap"
-
-// Message delivery callback: invoked when the last flit arrives.
-type deliverFunc func(cycle uint64)
-
+// delivery is one in-flight message. Exactly one of fn (closure callback)
+// or tfn (shared callback plus per-message argument) is set; SendTagged
+// exists so hot callers can pass a long-lived function and avoid allocating
+// a closure per message.
 type delivery struct {
 	at uint64
-	fn deliverFunc
 	// seq breaks ties so delivery order is deterministic FIFO.
 	seq uint64
+	fn  func(cycle uint64)
+	tfn func(cycle uint64, arg any)
+	arg any
 }
 
+// deliveryHeap is a binary min-heap ordered by (at, seq). The heap is
+// hand-rolled rather than using container/heap: the standard interface
+// forces every pushed element through an `any` conversion, which heap-
+// allocates one box per message on the simulator's hottest path.
 type deliveryHeap []delivery
 
-func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
+func (h deliveryHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
-func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *deliveryHeap) push(d delivery) {
+	*h = append(*h, d)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *deliveryHeap) pop() delivery {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = delivery{} // clear callbacks/args so the tail slot frees memory
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
 
 // Stats holds cumulative crossbar counters.
 type Stats struct {
@@ -67,11 +109,8 @@ func New(nSrc, nDst, linkBytes, latency int) *Crossbar {
 	}
 }
 
-// Send injects a message of the given size. deliver is invoked from Tick
-// once the message fully arrives at the destination port. Send never fails:
-// back-pressure is modelled by the returned arrival time, which accounts for
-// port serialization in both directions.
-func (x *Crossbar) Send(cycle uint64, src, dst, bytes int, deliver func(cycle uint64)) uint64 {
+// arrival computes the message's arrival time and updates port state.
+func (x *Crossbar) arrival(cycle uint64, src, dst, bytes int) uint64 {
 	ser := uint64((bytes + x.linkBytes - 1) / x.linkBytes)
 	if ser == 0 {
 		ser = 1
@@ -84,15 +123,37 @@ func (x *Crossbar) Send(cycle uint64, src, dst, bytes int, deliver func(cycle ui
 	x.stats.Messages++
 	x.stats.Bytes += uint64(bytes)
 	x.seq++
-	heap.Push(&x.pending, delivery{at: arrive, fn: deliver, seq: x.seq})
+	return arrive
+}
+
+// Send injects a message of the given size. deliver is invoked from Tick
+// once the message fully arrives at the destination port. Send never fails:
+// back-pressure is modelled by the returned arrival time, which accounts for
+// port serialization in both directions.
+func (x *Crossbar) Send(cycle uint64, src, dst, bytes int, deliver func(cycle uint64)) uint64 {
+	arrive := x.arrival(cycle, src, dst, bytes)
+	x.pending.push(delivery{at: arrive, fn: deliver, seq: x.seq})
+	return arrive
+}
+
+// SendTagged is Send with a shared callback and a per-message argument: the
+// caller provides one long-lived deliver function and threads context through
+// arg, so injecting a message does not allocate a closure.
+func (x *Crossbar) SendTagged(cycle uint64, src, dst, bytes int, deliver func(cycle uint64, arg any), arg any) uint64 {
+	arrive := x.arrival(cycle, src, dst, bytes)
+	x.pending.push(delivery{at: arrive, tfn: deliver, arg: arg, seq: x.seq})
 	return arrive
 }
 
 // Tick delivers every message whose arrival time has been reached.
 func (x *Crossbar) Tick(cycle uint64) {
 	for len(x.pending) > 0 && x.pending[0].at <= cycle {
-		d := heap.Pop(&x.pending).(delivery)
-		d.fn(d.at)
+		d := x.pending.pop()
+		if d.tfn != nil {
+			d.tfn(d.at, d.arg)
+		} else {
+			d.fn(d.at)
+		}
 	}
 }
 

@@ -1,0 +1,60 @@
+package parallel_test
+
+// Race stress: 8 concurrent GPU simulations through the fan-out harness.
+// Run under `go test -race ./internal/parallel` (the Makefile race target)
+// to prove the per-task ownership rule: one goroutine == one GPU instance,
+// no shared mutable simulator state.
+
+import (
+	"fmt"
+	"testing"
+
+	"ugpu/internal/config"
+	"ugpu/internal/gpu"
+	"ugpu/internal/parallel"
+	"ugpu/internal/workload"
+)
+
+func TestConcurrentGPUSimsRaceStress(t *testing.T) {
+	table := workload.Table2()
+	cfg := config.Default()
+	cfg.MaxCycles = 4_000
+	cfg.EpochCycles = 2_000
+
+	run := func(i int) (float64, error) {
+		b := table[i%len(table)]
+		groups := make([]int, cfg.ChannelGroups())
+		for g := range groups {
+			groups[g] = g
+		}
+		opt := gpu.DefaultOptions()
+		opt.FootprintScale = 64
+		g, err := gpu.New(cfg, []gpu.AppSpec{{Bench: b, SMs: cfg.NumSMs, Groups: groups}}, opt)
+		if err != nil {
+			return 0, err
+		}
+		g.Run(uint64(cfg.MaxCycles))
+		st := g.EndEpoch()[0]
+		if st.Instructions == 0 {
+			return 0, fmt.Errorf("benchmark %s issued no instructions", b.Abbr)
+		}
+		return st.IPC(), nil
+	}
+
+	const tasks = 8
+	r := parallel.New(tasks)
+	par, err := parallel.Map(r, tasks, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism spot-check: a serial pass must reproduce the same IPCs.
+	ser, err := parallel.Map(parallel.New(1), tasks, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if par[i] != ser[i] {
+			t.Errorf("task %d: parallel IPC %v != serial IPC %v", i, par[i], ser[i])
+		}
+	}
+}

@@ -152,7 +152,13 @@ type SM struct {
 	// tbDurationEMA estimates TB duration in cycles for the drain-vs-
 	// switch decision (Section 3.3).
 	tbDurationEMA float64
-	tbStartCycle  map[int]uint64
+	tbStart       []uint64 // per-slot TB launch cycle
+
+	// freeWarps recycles retired Warp objects (and their embedded
+	// WarpStreams) so steady-state TB refill does not allocate. A warp is
+	// recycled only once nothing downstream can still reference it: done,
+	// zero outstanding loads, and no pending addresses.
+	freeWarps []*Warp
 
 	stats   Stats
 	addrBuf []uint64
@@ -161,13 +167,13 @@ type SM struct {
 // New builds an SM with the given geometry.
 func New(id, tbsPerSM, warpsPerTB, schedulers int) *SM {
 	return &SM{
-		ID:           id,
-		warpsPerTB:   warpsPerTB,
-		tbSlots:      make([]tbSlot, tbsPerSM),
-		schedulers:   schedulers,
-		state:        Idle,
-		tbStartCycle: make(map[int]uint64),
-		addrBuf:      make([]uint64, 0, 8),
+		ID:         id,
+		warpsPerTB: warpsPerTB,
+		tbSlots:    make([]tbSlot, tbsPerSM),
+		schedulers: schedulers,
+		state:      Idle,
+		tbStart:    make([]uint64, tbsPerSM),
+		addrBuf:    make([]uint64, 0, 64),
 	}
 }
 
@@ -205,23 +211,42 @@ func (s *SM) Assign(cycle uint64, app *App) {
 	}
 }
 
+// newWarp pops a recycled warp (keeping its WarpStream and pending-address
+// backing array) or allocates a fresh one.
+func (s *SM) newWarp() *Warp {
+	if n := len(s.freeWarps); n > 0 {
+		w := s.freeWarps[n-1]
+		s.freeWarps[n-1] = nil
+		s.freeWarps = s.freeWarps[:n-1]
+		stream := w.Stream
+		pending := w.pending[:0]
+		*w = Warp{Stream: stream, pending: pending}
+		return w
+	}
+	return &Warp{Stream: new(workload.WarpStream)}
+}
+
 func (s *SM) fillTB(cycle uint64, slot int) {
 	app := s.app
 	tb := app.Dispatcher.NextTB()
-	slotWarps := make([]*Warp, s.warpsPerTB)
+	slotWarps := s.tbSlots[slot].warps
+	if cap(slotWarps) >= s.warpsPerTB {
+		slotWarps = slotWarps[:s.warpsPerTB]
+	} else {
+		slotWarps = make([]*Warp, s.warpsPerTB)
+	}
 	for wi := range slotWarps {
 		seed := app.SeedBase ^ uint64(s.ID)<<40 ^ uint64(tb.Launch)<<28 ^ uint64(tb.TBIndex)<<8 ^ uint64(wi) + 1
-		w := &Warp{
-			Stream: app.Dispatcher.NewWarpStream(tb, wi, app.PageBytes, seed),
-			MaxOut: tb.Kernel.MaxOutstanding,
-			sm:     s,
-			tb:     slot,
-		}
+		w := s.newWarp()
+		app.Dispatcher.InitWarpStream(w.Stream, tb, wi, app.PageBytes, seed)
+		w.MaxOut = tb.Kernel.MaxOutstanding
+		w.sm = s
+		w.tb = slot
 		slotWarps[wi] = w
 		s.warps = append(s.warps, w)
 	}
 	s.tbSlots[slot] = tbSlot{warps: slotWarps, liveWarp: s.warpsPerTB, valid: true}
-	s.tbStartCycle[slot] = cycle
+	s.tbStart[slot] = cycle
 }
 
 // BeginDrain stops TB refill; onFree fires when the last TB finishes.
@@ -341,6 +366,9 @@ func (s *SM) issue(cycle uint64, w *Warp, port Port) bool {
 		return false
 	}
 	addrs := w.Stream.NextInstr(s.addrBuf)
+	// NextInstr appends into the shared buffer; adopt any regrown backing
+	// array so a divergent kernel does not reallocate it every instruction.
+	s.addrBuf = addrs[:0]
 	s.stats.Instructions++
 	s.stats.IssueSlots++
 	if len(addrs) > 0 {
@@ -359,14 +387,20 @@ func (s *SM) issue(cycle uint64, w *Warp, port Port) bool {
 }
 
 func (s *SM) drainPending(cycle uint64, w *Warp, port Port) {
-	for len(w.pending) > 0 {
+	// Consume by index and compact once at the end: popping via
+	// pending[1:] would advance the backing array's base, forcing the next
+	// append to reallocate — one allocation per memory instruction.
+	i := 0
+	for i < len(w.pending) {
 		if w.Outstanding >= w.MaxOut {
+			w.compactPending(i)
 			w.block()
 			return
 		}
-		va := w.pending[0]
+		va := w.pending[i]
 		if !port.IssueLoad(cycle, s.ID, s.app.ID, va, w) {
 			// Structural stall: park the warp on the retry list.
+			w.compactPending(i)
 			w.block()
 			if !w.structStall {
 				w.structStall = true
@@ -375,13 +409,23 @@ func (s *SM) drainPending(cycle uint64, w *Warp, port Port) {
 			return
 		}
 		w.Outstanding++
-		w.pending = w.pending[1:]
+		i++
 	}
+	w.pending = w.pending[:0]
 	if w.Outstanding >= w.MaxOut {
 		w.block()
 		return
 	}
 	w.unblock()
+}
+
+// compactPending drops the i consumed addresses while keeping the slice's
+// backing array (and therefore its capacity) in place.
+func (w *Warp) compactPending(i int) {
+	if i > 0 {
+		n := copy(w.pending, w.pending[i:])
+		w.pending = w.pending[:n]
+	}
 }
 
 // RetryBlocked replays structurally-rejected loads; the gpu package calls it
@@ -413,7 +457,7 @@ func (s *SM) completeWarp(cycle uint64, w *Warp) {
 	}
 	// TB finished.
 	s.stats.TBsCompleted++
-	dur := float64(cycle - s.tbStartCycle[w.tb])
+	dur := float64(cycle - s.tbStart[w.tb])
 	if s.tbDurationEMA == 0 {
 		s.tbDurationEMA = dur
 	} else {
@@ -432,18 +476,28 @@ func (s *SM) completeWarp(cycle uint64, w *Warp) {
 }
 
 // compactWarps removes completed warps from the age list and recomputes the
-// unready counter.
+// unready counter. Completed warps that nothing downstream can still
+// reference — no outstanding loads (which covers in-flight fills, MSHR
+// waiters, and merged translations) and no pending addresses (which covers
+// the structural-retry list) — are recycled into the warp freelist.
 func (s *SM) compactWarps() {
 	live := s.warps[:0]
 	unready := 0
 	for _, w := range s.warps {
 		if w.done {
+			if w.Outstanding == 0 && len(w.pending) == 0 {
+				s.freeWarps = append(s.freeWarps, w)
+			}
 			continue
 		}
 		live = append(live, w)
 		if w.blocked {
 			unready++
 		}
+	}
+	tail := s.warps[len(live):]
+	for i := range tail {
+		tail[i] = nil
 	}
 	s.warps = live
 	s.unready = unready

@@ -10,8 +10,6 @@
 // the page table and drive fault handling.
 package tlb
 
-import "container/heap"
-
 // Key packs an (app, vpn) pair. Apps are bounded by the 8-program workloads
 // of the evaluation, so 4 bits suffice.
 func Key(app int, vpn uint64) uint64 { return vpn<<4 | uint64(app)&0xF }
@@ -147,22 +145,67 @@ func (t *TLB) Occupancy() int {
 	return n
 }
 
-// walk is one in-flight or queued page table walk.
+// walk is one in-flight or queued page table walk. Exactly one of fn
+// (closure callback) or tfn (shared callback plus per-walk argument) is set;
+// EnqueueTagged exists so hot callers can pass one long-lived function and
+// avoid allocating a closure per walk.
 type walk struct {
 	doneAt uint64
 	fn     func(cycle uint64)
+	tfn    func(cycle uint64, arg uint64)
+	arg    uint64
 	seq    uint64
 }
 
+// walkHeap is a hand-rolled binary min-heap ordered by (doneAt, seq);
+// container/heap would box every walk into an `any` per push, allocating on
+// the translation path.
 type walkHeap []walk
 
-func (h walkHeap) Len() int { return len(h) }
-func (h walkHeap) Less(i, j int) bool {
+func (h walkHeap) less(i, j int) bool {
 	return h[i].doneAt < h[j].doneAt || (h[i].doneAt == h[j].doneAt && h[i].seq < h[j].seq)
 }
-func (h walkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *walkHeap) Push(x any)   { *h = append(*h, x.(walk)) }
-func (h *walkHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *walkHeap) push(w walk) {
+	*h = append(*h, w)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *walkHeap) pop() walk {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = walk{} // release the callback reference
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
 
 // Walker models the page table walker: up to `threads` concurrent walks,
 // each taking levels*stepLatency cycles; excess walks queue.
@@ -171,7 +214,7 @@ type Walker struct {
 	latency uint64
 
 	active  walkHeap
-	waiting []func(cycle uint64)
+	waiting []walk
 	seq     uint64
 
 	// Walks holds the cumulative number of walks started.
@@ -188,26 +231,44 @@ func NewWalker(threads, levels, stepLatency int) *Walker {
 
 // Enqueue starts (or queues) a walk; done runs when it completes.
 func (w *Walker) Enqueue(cycle uint64, done func(cycle uint64)) {
-	if len(w.active) < w.threads {
-		w.start(cycle, done)
-		return
-	}
-	w.waiting = append(w.waiting, done)
+	w.enqueue(cycle, walk{fn: done})
 }
 
-func (w *Walker) start(cycle uint64, done func(cycle uint64)) {
+// EnqueueTagged is Enqueue with a shared callback and a per-walk argument:
+// the caller provides one long-lived done function and threads context
+// through arg, so starting a walk does not allocate a closure.
+func (w *Walker) EnqueueTagged(cycle uint64, arg uint64, done func(cycle uint64, arg uint64)) {
+	w.enqueue(cycle, walk{tfn: done, arg: arg})
+}
+
+func (w *Walker) enqueue(cycle uint64, wk walk) {
+	if len(w.active) < w.threads {
+		w.start(cycle, wk)
+		return
+	}
+	w.waiting = append(w.waiting, wk)
+}
+
+func (w *Walker) start(cycle uint64, wk walk) {
 	w.seq++
 	w.Walks++
-	heap.Push(&w.active, walk{doneAt: cycle + w.latency, fn: done, seq: w.seq})
+	wk.doneAt = cycle + w.latency
+	wk.seq = w.seq
+	w.active.push(wk)
 }
 
 // Tick completes finished walks and admits queued ones.
 func (w *Walker) Tick(cycle uint64) {
 	for len(w.active) > 0 && w.active[0].doneAt <= cycle {
-		done := heap.Pop(&w.active).(walk)
-		done.fn(done.doneAt)
+		done := w.active.pop()
+		if done.tfn != nil {
+			done.tfn(done.doneAt, done.arg)
+		} else {
+			done.fn(done.doneAt)
+		}
 		if len(w.waiting) > 0 {
 			next := w.waiting[0]
+			w.waiting[0] = walk{} // release callback before shifting
 			w.waiting = w.waiting[1:]
 			w.start(cycle, next)
 		}

@@ -128,6 +128,17 @@ type WarpStream struct {
 // pages together). warpsPerTB is inferred from the kernel's geometry by the
 // caller via WarpsPerTB.
 func (d *Dispatcher) NewWarpStream(tb TBSpec, warpIdx int, pageBytes int, seed uint64) *WarpStream {
+	ws := new(WarpStream)
+	d.InitWarpStream(ws, tb, warpIdx, pageBytes, seed)
+	return ws
+}
+
+// InitWarpStream is NewWarpStream without the allocation: it (re)initialises
+// ws in place, overwriting all fields. The sm package uses it to recycle the
+// WarpStream of a retired warp for the next thread block, keeping TB refill
+// allocation-free in steady state. The resulting stream is identical to one
+// built by NewWarpStream with the same arguments.
+func (d *Dispatcher) InitWarpStream(ws *WarpStream, tb TBSpec, warpIdx int, pageBytes int, seed uint64) {
 	const warpsPerTB = 8
 	k := tb.Kernel
 	footBytes := d.footPages * uint64(pageBytes)
@@ -144,7 +155,7 @@ func (d *Dispatcher) NewWarpStream(tb TBSpec, warpIdx int, pageBytes int, seed u
 	// accesses, the page locality real coalesced kernels exhibit.
 	const burst = 48
 	hotRun := int(k.HotProb*burst + 0.5)
-	ws := &WarpStream{
+	*ws = WarpStream{
 		kernel:    k,
 		memThresh: uint32(k.MemFraction * (1 << 32)),
 		hotThresh: uint32(k.HotProb * (1 << 32)),
@@ -162,7 +173,6 @@ func (d *Dispatcher) NewWarpStream(tb TBSpec, warpIdx int, pageBytes int, seed u
 	if ws.diverge < 1 {
 		ws.diverge = 1
 	}
-	return ws
 }
 
 func (ws *WarpStream) next() uint64 {

@@ -10,6 +10,28 @@
 // (compute- vs memory-bound) and ordering as Table 2. Classification drives
 // every result in the paper; absolute MPKI values only need to preserve the
 // ordering.
+//
+// # Seeding contract
+//
+// The package holds no global RNG state, so concurrent simulations (the
+// internal/parallel sweep fan-out) never share randomness:
+//
+//   - Mix generation is either fully deterministic (HeterogeneousPairs,
+//     HomogeneousPairs, AIMixes enumerate in sorted order) or seeded
+//     explicitly: FourProgramMixes/EightProgramMixes take a seed int64 and
+//     build a private rand.Rand from it; the *Rand variants accept a
+//     caller-owned *rand.Rand for callers that thread one RNG through a
+//     larger deterministic pipeline. Equal seeds produce equal mixes.
+//   - Address streams never consult math/rand at all: each WarpStream owns
+//     an xorshift64 state derived from the seed passed to NewWarpStream /
+//     InitWarpStream. The sm package derives that seed deterministically
+//     from (App.SeedBase, SM id, kernel launch, TB index, warp index), so a
+//     simulation's entire address trace is a pure function of its
+//     construction arguments.
+//
+// Never use package-level rand functions (rand.Intn etc.) here: they share
+// a process-global source, which would make parallel sweep output depend on
+// worker interleaving.
 package workload
 
 import (
@@ -273,16 +295,30 @@ func AllPairs() []Mix {
 // FourProgramMixes builds n mixes of 2 memory-bound + 2 compute-bound
 // benchmarks (Section 6.5), deterministically from the seed.
 func FourProgramMixes(n int, seed int64) []Mix {
-	return kProgramMixes(n, seed, 2, 2)
+	return kProgramMixes(n, rand.New(rand.NewSource(seed)), 2, 2)
+}
+
+// FourProgramMixesRand is FourProgramMixes with a caller-owned RNG (see the
+// package seeding contract). The caller must not share rng across
+// goroutines.
+func FourProgramMixesRand(n int, rng *rand.Rand) []Mix {
+	return kProgramMixes(n, rng, 2, 2)
 }
 
 // EightProgramMixes builds n mixes of 4 memory-bound + 4 compute-bound
 // benchmarks (Section 6.5's 200 random eight-program workloads).
 func EightProgramMixes(n int, seed int64) []Mix {
-	return kProgramMixes(n, seed, 4, 4)
+	return kProgramMixes(n, rand.New(rand.NewSource(seed)), 4, 4)
 }
 
-func kProgramMixes(n int, seed int64, nMem, nCmp int) []Mix {
+// EightProgramMixesRand is EightProgramMixes with a caller-owned RNG (see
+// the package seeding contract). The caller must not share rng across
+// goroutines.
+func EightProgramMixesRand(n int, rng *rand.Rand) []Mix {
+	return kProgramMixes(n, rng, 4, 4)
+}
+
+func kProgramMixes(n int, rng *rand.Rand, nMem, nCmp int) []Mix {
 	var mem, cmp []Benchmark
 	for _, b := range Table2() {
 		if b.Class == MemoryBound {
@@ -291,7 +327,6 @@ func kProgramMixes(n int, seed int64, nMem, nCmp int) []Mix {
 			cmp = append(cmp, b)
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
 	mixes := make([]Mix, 0, n)
 	for len(mixes) < n {
 		apps := make([]Benchmark, 0, nMem+nCmp)

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -299,5 +301,58 @@ func TestQuickStreamsStayInFootprint(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestMixSeedingContract(t *testing.T) {
+	// Equal seeds produce equal mixes; different seeds diverge.
+	a := EightProgramMixes(6, 42)
+	b := EightProgramMixes(6, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("EightProgramMixes not deterministic for equal seeds")
+	}
+	c := EightProgramMixes(6, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("EightProgramMixes identical across different seeds")
+	}
+	// The *Rand variants match the seed variants given an equally-seeded RNG.
+	if d := EightProgramMixesRand(6, rand.New(rand.NewSource(42))); !reflect.DeepEqual(a, d) {
+		t.Fatal("EightProgramMixesRand(NewSource(seed)) differs from EightProgramMixes(seed)")
+	}
+	e := FourProgramMixes(4, 9)
+	if f := FourProgramMixesRand(4, rand.New(rand.NewSource(9))); !reflect.DeepEqual(e, f) {
+		t.Fatal("FourProgramMixesRand(NewSource(seed)) differs from FourProgramMixes(seed)")
+	}
+}
+
+func TestWarpStreamSeedDeterminism(t *testing.T) {
+	// A stream's address trace is a pure function of its construction
+	// arguments (the package seeding contract).
+	d := NewDispatcher(Table2()[0], 64, 4096)
+	tb := d.NextTB()
+	trace := func(seed uint64) []uint64 {
+		ws := d.NewWarpStream(tb, 0, 4096, seed)
+		var out []uint64
+		buf := make([]uint64, 0, 32)
+		for i := 0; i < 200; i++ {
+			out = append(out, ws.NextInstr(buf)...)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(trace(7), trace(7)) {
+		t.Fatal("warp stream not deterministic for equal seeds")
+	}
+	// InitWarpStream reinitialises in place to the identical stream.
+	var ws WarpStream
+	d.InitWarpStream(&ws, tb, 0, 4096, 7)
+	ref := d.NewWarpStream(tb, 0, 4096, 7)
+	buf := make([]uint64, 0, 32)
+	buf2 := make([]uint64, 0, 32)
+	for i := 0; i < 200; i++ {
+		a := append([]uint64(nil), ws.NextInstr(buf)...)
+		b := append([]uint64(nil), ref.NextInstr(buf2)...)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("InitWarpStream diverges from NewWarpStream at instr %d", i)
+		}
 	}
 }
