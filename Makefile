@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check experiments bench-json clean
+.PHONY: all build test short race bench vet check fault-smoke experiments bench-json clean
 
 all: check
 
@@ -33,6 +33,17 @@ vet:
 
 ## check: everything the CI gate runs
 check: build vet test race
+
+## fault-smoke: short degraded-mode sweep; serial and parallel runs of the
+## same fault seed must produce byte-identical reports (CI smoke job)
+FAULT_SMOKE_FLAGS = -fig faults -cycles 60000 -epoch 15000 -mixes 2 \
+	-faults "sm=2,group=1,mig=0.05" -fault-seed 7
+fault-smoke:
+	$(GO) run ./cmd/experiments $(FAULT_SMOKE_FLAGS) -parallel 1 > faults-serial.txt
+	$(GO) run ./cmd/experiments $(FAULT_SMOKE_FLAGS) -parallel 8 > faults-parallel.txt
+	cmp faults-serial.txt faults-parallel.txt
+	cat faults-serial.txt
+	rm -f faults-serial.txt faults-parallel.txt
 
 ## experiments: regenerate every figure at the recorded scale
 experiments:

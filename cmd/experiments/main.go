@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize]
+//	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize|faults]
 //	            [-cycles N] [-epoch N] [-mixes N] [-scale N] [-parallel N]
+//	            [-faults spec] [-fault-seed N] [-watchdog-timeout N]
 //	            [-bench-json path] [-v]
 //
 // Every figure is a sweep of independent simulations fanned out through
@@ -53,6 +54,7 @@ func gensFor(opt experiments.Options) []gen {
 		{"16", opt.Figure16},
 		{"micro", opt.MigrationMicro},
 		{"pagesize", opt.PageSizeSensitivity},
+		{"faults", opt.FaultSweep},
 	}
 }
 
@@ -74,6 +76,9 @@ func main() {
 		mixes     = flag.Int("mixes", 0, "mixes per sweep")
 		scale     = flag.Int("scale", 0, "footprint divisor")
 		parallelN = flag.Int("parallel", 0, "sweep fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+		faults    = flag.String("faults", "", "custom fault spec for the faults figure (e.g. \"sm=2,group=1,mig=0.05\")")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+		watchdog  = flag.Int("watchdog-timeout", 0, "watchdog window in cycles (-1 disables; 0 keeps the config default)")
 		benchJSON = flag.String("bench-json", "", "write a serial-vs-parallel benchmark report to this path and exit")
 		verbose   = flag.Bool("v", false, "log per-run progress")
 	)
@@ -96,6 +101,14 @@ func main() {
 		opt.Log = os.Stderr
 	}
 	opt.Parallel = *parallelN
+	opt.FaultSpec = *faults
+	opt.FaultSeed = *faultSeed
+	switch {
+	case *watchdog > 0:
+		opt.Cfg.WatchdogCycles = *watchdog
+	case *watchdog < 0:
+		opt.Cfg.WatchdogCycles = 0
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*fig, ",") {

@@ -58,6 +58,9 @@ type Cluster struct {
 
 // New builds a cluster of n GPUs hosting perGPU tenants each.
 func New(cfg config.Config, n, perGPU int) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if n <= 0 || perGPU <= 0 {
 		return nil, fmt.Errorf("cluster: need positive GPU and tenant counts, got %d/%d", n, perGPU)
 	}

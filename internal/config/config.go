@@ -73,6 +73,14 @@ type Config struct {
 	// Simulation.
 	MaxCycles int // default run length (paper: 25M; scaled default 1M)
 	Seed      int64
+
+	// WatchdogCycles is the liveness heartbeat window: if the simulation
+	// makes no observable forward progress (no instruction retired, no event
+	// fired, no message or DRAM line served) for this many cycles while work
+	// is outstanding, the run fails with a typed gpu.StallError carrying a
+	// diagnostic snapshot instead of hanging a sweep forever. 0 disables the
+	// watchdog.
+	WatchdogCycles int
 }
 
 // HBMTiming holds DRAM timing parameters in memory-controller cycles
@@ -148,6 +156,8 @@ func Default() Config {
 
 		MaxCycles: 1_000_000,
 		Seed:      1,
+
+		WatchdogCycles: 50_000,
 	}
 }
 
@@ -203,42 +213,81 @@ func (c Config) AggregateBandwidthGBs() float64 {
 	return bytesPerCycle * float64(c.SMClockMHz) * 1e6 / 1e9
 }
 
-// Validate checks structural consistency. It returns an error describing the
-// first violated constraint, or nil.
+// FieldError is a typed configuration validation failure naming the exact
+// offending field. Callers can match it with errors.As to report which knob
+// to fix.
+type FieldError struct {
+	Field  string // the Config field (or field pair) that is invalid
+	Value  any    // the rejected value
+	Reason string // what the field must satisfy
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("config: %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+func fieldErr(field string, value any, reason string) *FieldError {
+	return &FieldError{Field: field, Value: value, Reason: reason}
+}
+
+// Validate checks structural consistency. It returns a *FieldError naming
+// the first violated constraint, or nil. The zero Config is invalid; so are
+// zero or negative epoch lengths, run lengths, and channel-group counts —
+// rejecting those here (and in ugpu.New/cluster.New, which call Validate)
+// prevents silently accepting configurations that would divide by zero or
+// never reach an epoch boundary deep inside the simulator.
 func (c Config) Validate() error {
 	switch {
 	case c.NumSMs <= 0:
-		return fmt.Errorf("config: NumSMs must be positive, got %d", c.NumSMs)
-	case c.WarpsPerSM <= 0 || c.WarpsPerTB <= 0:
-		return fmt.Errorf("config: warp counts must be positive (WarpsPerSM=%d WarpsPerTB=%d)", c.WarpsPerSM, c.WarpsPerTB)
+		return fieldErr("NumSMs", c.NumSMs, "must be positive")
+	case c.WarpsPerSM <= 0:
+		return fieldErr("WarpsPerSM", c.WarpsPerSM, "must be positive")
+	case c.WarpsPerTB <= 0:
+		return fieldErr("WarpsPerTB", c.WarpsPerTB, "must be positive")
 	case c.WarpsPerSM%c.WarpsPerTB != 0:
-		return fmt.Errorf("config: WarpsPerSM (%d) must be a multiple of WarpsPerTB (%d)", c.WarpsPerSM, c.WarpsPerTB)
+		return fieldErr("WarpsPerSM", c.WarpsPerSM, fmt.Sprintf("must be a multiple of WarpsPerTB (%d)", c.WarpsPerTB))
 	case c.SchedulersPerSM <= 0:
-		return fmt.Errorf("config: SchedulersPerSM must be positive, got %d", c.SchedulersPerSM)
+		return fieldErr("SchedulersPerSM", c.SchedulersPerSM, "must be positive")
 	case c.L1LineBytes <= 0 || c.L1LineBytes&(c.L1LineBytes-1) != 0:
-		return fmt.Errorf("config: L1LineBytes must be a positive power of two, got %d", c.L1LineBytes)
+		return fieldErr("L1LineBytes", c.L1LineBytes, "must be a positive power of two")
 	case c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0:
-		return fmt.Errorf("config: PageBytes must be a positive power of two, got %d", c.PageBytes)
+		return fieldErr("PageBytes", c.PageBytes, "must be a positive power of two")
 	case c.PageBytes < c.L1LineBytes:
-		return fmt.Errorf("config: PageBytes (%d) must be >= L1LineBytes (%d)", c.PageBytes, c.L1LineBytes)
-	case c.NumStacks <= 0 || c.ChannelsPerStack <= 0:
-		return fmt.Errorf("config: memory geometry must be positive (stacks=%d channels/stack=%d)", c.NumStacks, c.ChannelsPerStack)
-	case c.NumStacks&(c.NumStacks-1) != 0 || c.ChannelsPerStack&(c.ChannelsPerStack-1) != 0:
-		return fmt.Errorf("config: stacks (%d) and channels/stack (%d) must be powers of two", c.NumStacks, c.ChannelsPerStack)
-	case c.BankGroups&(c.BankGroups-1) != 0 || c.BanksPerGroup&(c.BanksPerGroup-1) != 0:
-		return fmt.Errorf("config: bank groups (%d) and banks/group (%d) must be powers of two", c.BankGroups, c.BanksPerGroup)
-	case c.LLCSlices%c.NumChannels() != 0:
-		return fmt.Errorf("config: LLCSlices (%d) must be a multiple of channel count (%d)", c.LLCSlices, c.NumChannels())
-	case c.L1Sets <= 0 || c.L1Ways <= 0 || c.LLCSets <= 0 || c.LLCWays <= 0:
-		return fmt.Errorf("config: cache geometry must be positive")
+		return fieldErr("PageBytes", c.PageBytes, fmt.Sprintf("must be >= L1LineBytes (%d)", c.L1LineBytes))
+	case c.NumStacks <= 0:
+		return fieldErr("NumStacks", c.NumStacks, "must be positive")
+	case c.ChannelsPerStack <= 0:
+		return fieldErr("ChannelsPerStack", c.ChannelsPerStack, "must be positive (it is the channel-group count)")
+	case c.NumStacks&(c.NumStacks-1) != 0:
+		return fieldErr("NumStacks", c.NumStacks, "must be a power of two")
+	case c.ChannelsPerStack&(c.ChannelsPerStack-1) != 0:
+		return fieldErr("ChannelsPerStack", c.ChannelsPerStack, "must be a power of two")
+	case c.BankGroups <= 0 || c.BankGroups&(c.BankGroups-1) != 0:
+		return fieldErr("BankGroups", c.BankGroups, "must be a positive power of two")
+	case c.BanksPerGroup <= 0 || c.BanksPerGroup&(c.BanksPerGroup-1) != 0:
+		return fieldErr("BanksPerGroup", c.BanksPerGroup, "must be a positive power of two")
+	case c.LLCSlices <= 0 || c.LLCSlices%c.NumChannels() != 0:
+		return fieldErr("LLCSlices", c.LLCSlices, fmt.Sprintf("must be a positive multiple of the channel count (%d)", c.NumChannels()))
+	case c.L1Sets <= 0:
+		return fieldErr("L1Sets", c.L1Sets, "must be positive")
+	case c.L1Ways <= 0:
+		return fieldErr("L1Ways", c.L1Ways, "must be positive")
+	case c.LLCSets <= 0:
+		return fieldErr("LLCSets", c.LLCSets, "must be positive")
+	case c.LLCWays <= 0:
+		return fieldErr("LLCWays", c.LLCWays, "must be positive")
 	case c.BurstCycles <= 0:
-		return fmt.Errorf("config: BurstCycles must be positive, got %d", c.BurstCycles)
-	case c.EpochCycles <= 0 || c.MaxCycles <= 0:
-		return fmt.Errorf("config: EpochCycles (%d) and MaxCycles (%d) must be positive", c.EpochCycles, c.MaxCycles)
+		return fieldErr("BurstCycles", c.BurstCycles, "must be positive")
+	case c.EpochCycles <= 0:
+		return fieldErr("EpochCycles", c.EpochCycles, "must be positive")
+	case c.MaxCycles <= 0:
+		return fieldErr("MaxCycles", c.MaxCycles, "must be positive")
 	case c.QueueEntries <= 0:
-		return fmt.Errorf("config: QueueEntries must be positive, got %d", c.QueueEntries)
+		return fieldErr("QueueEntries", c.QueueEntries, "must be positive")
 	case c.MigrationCycles <= 0:
-		return fmt.Errorf("config: MigrationCycles must be positive, got %d", c.MigrationCycles)
+		return fieldErr("MigrationCycles", c.MigrationCycles, "must be positive")
+	case c.WatchdogCycles < 0:
+		return fieldErr("WatchdogCycles", c.WatchdogCycles, "must be >= 0 (0 disables the watchdog)")
 	}
 	return nil
 }

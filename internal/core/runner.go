@@ -9,6 +9,31 @@ import (
 	"ugpu/internal/workload"
 )
 
+// FaultSummary aggregates injected faults and the degraded-mode response
+// over one run. PerAppLoss is the per-application relative throughput loss:
+// 1 - meanIPC(epochs fully after the first fault) / meanIPC(epochs fully
+// before it); nil when no discrete fault struck or no clean epochs exist on
+// both sides.
+type FaultSummary struct {
+	SMFails    int
+	GroupFails int
+	BankFaults int
+	NoCDrops   uint64
+	MigNACKs   uint64
+
+	EmergencyMigrations uint64
+	MigFailures         uint64
+	SpillRemaps         uint64
+
+	FirstFaultCycle uint64
+	PerAppLoss      []float64
+}
+
+// Any reports whether any fault was delivered during the run.
+func (f FaultSummary) Any() bool {
+	return f.SMFails > 0 || f.GroupFails > 0 || f.BankFaults > 0 || f.NoCDrops > 0 || f.MigNACKs > 0
+}
+
 // AppResult is one application's outcome over a run.
 type AppResult struct {
 	Abbr         string
@@ -41,6 +66,10 @@ type Result struct {
 	// Final is the partition at the end of the run (used to derive
 	// UGPU-offline targets for Figure 10).
 	Final []Target
+
+	// Faults summarises injected faults and the degraded-mode response
+	// (zero value when fault injection is disabled).
+	Faults FaultSummary
 }
 
 // TotalIPC sums per-application IPC (raw throughput).
@@ -107,12 +136,60 @@ func NewRunner(cfg config.Config, pol Policy, mix workload.Mix) (*Runner, error)
 	return r, nil
 }
 
+// clampTargets degrades fault-oblivious policy targets to the surviving
+// hardware: total SMs at most AvailableSMs and total groups at most the
+// alive-group count, shrinking the best-provisioned apps first while every
+// app keeps at least one of each. A no-op on a healthy machine.
+func (r *Runner) clampTargets(targets []Target) []Target {
+	availSM := r.G.AvailableSMs()
+	aliveGr := len(r.G.AliveGroups())
+	out := append([]Target(nil), targets...)
+	sumSM, sumGr := 0, 0
+	for _, t := range out {
+		sumSM += t.SMs
+		sumGr += t.Groups
+	}
+	for sumSM > availSM {
+		big := 0
+		for i := range out {
+			if out[i].SMs > out[big].SMs {
+				big = i
+			}
+		}
+		if out[big].SMs <= 1 {
+			break
+		}
+		out[big].SMs--
+		sumSM--
+	}
+	for sumGr > aliveGr {
+		big := 0
+		for i := range out {
+			if out[i].Groups > out[big].Groups {
+				big = i
+			}
+		}
+		if out[big].Groups <= 1 {
+			break
+		}
+		out[big].Groups--
+		sumGr--
+	}
+	return out
+}
+
 // applyTargets converts group counts into concrete group-id moves and
 // applies the partition.
 func (r *Runner) applyTargets(cycle uint64, targets []Target) error {
 	if r.shared {
 		return fmt.Errorf("core: policy %s reallocates groups in shared mode", r.Pol.Name())
 	}
+	// Refresh the group-id mirror from the GPU's actual ownership: fault
+	// repair (faults.go) reassigns groups outside the runner's control.
+	for i := range r.groups {
+		r.groups[i] = append(r.groups[i][:0], r.G.PartitionOf(i).Groups...)
+	}
+	targets = r.clampTargets(targets)
 	var pool []int
 	for i, t := range targets {
 		for len(r.groups[i]) > t.Groups && len(r.groups[i]) > 1 {
@@ -146,16 +223,30 @@ func (r *Runner) Run() (Result, error) {
 	}
 	total := uint64(r.Cfg.MaxCycles)
 	epoch := uint64(r.Cfg.EpochCycles)
+	type epochRec struct {
+		start, end uint64
+		ipc        []float64
+	}
+	var recs []epochRec
 	for r.G.Cycle() < total {
 		step := epoch
 		if left := total - r.G.Cycle(); left < step {
 			step = left
 		}
-		r.G.Run(step)
+		epochStart := r.G.Cycle()
+		if err := r.G.RunChecked(step); err != nil {
+			return res, err
+		}
 		stats := r.G.EndEpoch()
 		res.Epochs++
+		rec := epochRec{start: epochStart, end: r.G.Cycle(), ipc: make([]float64, len(stats))}
 		for i, e := range stats {
 			res.Apps[i].Instructions += e.Instructions
+			rec.ipc[i] = e.IPC()
+		}
+		recs = append(recs, rec)
+		if err := r.G.CheckInvariants(); err != nil {
+			return res, err
 		}
 		dm, sv := r.G.ReallocationOverhead()
 		res.DataMigCycles += dm
@@ -181,6 +272,9 @@ func (r *Runner) Run() (Result, error) {
 		if err := r.applyTargets(r.G.Cycle(), targets); err != nil {
 			return res, err
 		}
+		if err := r.G.CheckInvariants(); err != nil {
+			return res, err
+		}
 		res.Reallocations++
 	}
 	res.Cycles = r.G.Cycle()
@@ -200,6 +294,45 @@ func (r *Runner) Run() (Result, error) {
 	vmStats := r.G.VM().Stats()
 	res.PageMigrations = vmStats.Migrations
 	res.FaultMigrations = r.G.Totals().FaultMigrations
+
+	// Fault summary and per-app throughput loss across the first fault.
+	ic := r.G.InjectorCounts()
+	fs := r.G.FaultStats()
+	res.Faults = FaultSummary{
+		SMFails:             ic.SMFails,
+		GroupFails:          ic.GroupFails,
+		BankFaults:          ic.BankFaults,
+		NoCDrops:            ic.NoCDrops,
+		MigNACKs:            ic.MigNACKs,
+		EmergencyMigrations: fs.EmergencyMigrations,
+		MigFailures:         fs.MigFailures,
+		SpillRemaps:         fs.SpillRemaps,
+		FirstFaultCycle:     r.G.FirstFaultCycle(),
+	}
+	if ffc := res.Faults.FirstFaultCycle; ffc > 0 {
+		loss := make([]float64, len(res.Apps))
+		for i := range res.Apps {
+			var preSum, postSum float64
+			preN, postN := 0, 0
+			for _, rec := range recs {
+				switch {
+				case rec.end <= ffc:
+					preSum += rec.ipc[i]
+					preN++
+				case rec.start >= ffc:
+					postSum += rec.ipc[i]
+					postN++
+				}
+			}
+			if preN > 0 && postN > 0 {
+				pre, post := preSum/float64(preN), postSum/float64(postN)
+				if pre > 0 {
+					loss[i] = 1 - post/pre
+				}
+			}
+		}
+		res.Faults.PerAppLoss = loss
+	}
 	return res, nil
 }
 

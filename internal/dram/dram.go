@@ -115,8 +115,18 @@ type channel struct {
 	queued    int
 	lastUse   int64 // for idle-channel detection on the logic die
 
+	// degraded marks a channel on a failed channel group: queued and
+	// newly arriving requests still complete (so in-flight state drains and
+	// emergency migration can read the dying banks), but every data burst
+	// takes degradedServeFactor times longer — the ECC/retry-limp mode of a
+	// partially failed link.
+	degraded bool
+
 	stats ChannelStats
 }
+
+// degradedServeFactor multiplies burst occupancy on a degraded channel.
+const degradedServeFactor = 16
 
 // ChannelStats aggregates per-channel activity counters. Counters are
 // cumulative; callers snapshot and subtract across epochs.
@@ -130,6 +140,10 @@ type ChannelStats struct {
 	Migrations uint64 // MIGRATION commands completed
 	BusyCycles uint64 // data-bus occupancy
 	QueueFull  uint64 // rejected enqueues
+
+	// Fault-injection counters.
+	BankFaults     uint64 // transient bank faults delivered to this channel
+	DegradedServes uint64 // bursts served at the degraded-channel rate
 }
 
 // HBM is the whole memory system.
@@ -147,6 +161,12 @@ type HBM struct {
 	// queuedTotal sums queued requests over all channels so an idle memory
 	// system's Tick skips the per-channel scan entirely.
 	queuedTotal int
+
+	// MigNACK, when non-nil, is sampled once per retiring MIGRATION command
+	// (fault injection): a true return means the command was NACKed and the
+	// line must be retried by the migration job (bounded, with exponential
+	// backoff). The hook must be deterministic.
+	MigNACK func() bool
 }
 
 // AppStats aggregates per-application memory traffic for profiling.
@@ -346,10 +366,15 @@ func (h *HBM) schedule(cycle uint64, ch *channel, b *bank, r *Request) uint64 {
 	if r.IsWrite {
 		lat = int64(t.TWL)
 	}
+	burst := int64(h.cfg.BurstCycles)
+	if ch.degraded {
+		burst *= degradedServeFactor
+		ch.stats.DegradedServes++
+	}
 	dataStart := maxI(casAt+lat, ch.busFreeAt)
-	dataEnd := dataStart + int64(h.cfg.BurstCycles)
+	dataEnd := dataStart + burst
 	ch.busFreeAt = dataEnd
-	ch.stats.BusyCycles += uint64(h.cfg.BurstCycles)
+	ch.stats.BusyCycles += uint64(burst)
 	ch.lastUse = dataEnd
 	b.readyAt = casAt + int64(t.TCCDL)
 	if r.IsWrite {
@@ -391,6 +416,8 @@ func (h *HBM) TotalStats() ChannelStats {
 		s.Migrations += ch.stats.Migrations
 		s.BusyCycles += ch.stats.BusyCycles
 		s.QueueFull += ch.stats.QueueFull
+		s.BankFaults += ch.stats.BankFaults
+		s.DegradedServes += ch.stats.DegradedServes
 	}
 	return s
 }
@@ -408,6 +435,31 @@ func (h *HBM) ChannelIdleFor(cycle uint64, globalCh int) uint64 {
 
 // PendingMigrations reports migration jobs still in flight.
 func (h *HBM) PendingMigrations() int { return len(h.migs) }
+
+// QueuedTotal reports requests queued across all channels (diagnostics).
+func (h *HBM) QueuedTotal() int { return h.queuedTotal }
+
+// DegradeChannel marks one global channel as degraded (its channel group
+// failed): pending and future requests still drain, but every burst takes
+// degradedServeFactor times longer. Degradation is permanent.
+func (h *HBM) DegradeChannel(globalCh int) {
+	h.channels[globalCh].degraded = true
+}
+
+// Degraded reports whether the channel is in degraded mode.
+func (h *HBM) Degraded(globalCh int) bool { return h.channels[globalCh].degraded }
+
+// InjectBankFault makes one bank unavailable for duration cycles and closes
+// its row buffer (a transient DRAM bank fault: the bank's state is lost and
+// it re-initialises before accepting commands again). Queued requests wait
+// out the fault; nothing is dropped.
+func (h *HBM) InjectBankFault(cycle uint64, globalCh, bankIdx int, duration uint64) {
+	ch := h.channels[globalCh]
+	b := &ch.banks[bankIdx%len(ch.banks)]
+	b.readyAt = maxI(b.readyAt, int64(cycle+duration))
+	b.openRow = noRow
+	ch.stats.BankFaults++
+}
 
 func maxU(a, b uint64) uint64 {
 	if a > b {

@@ -40,10 +40,17 @@ const (
 	lineStateDone
 )
 
+// maxLineRetries bounds per-line MIGRATION retries after NACKs; a line
+// NACKed more often fails the whole job (the caller's fail callback fires
+// once every busy line has drained).
+const maxLineRetries = 6
+
 type migLine struct {
 	src, dst addr.Location
 	state    int
 	endAt    uint64 // PPMM: completion time while busy
+	retryAt  uint64 // PPMM: earliest re-issue after a NACK (exponential backoff)
+	retries  uint8  // NACK count for this line
 }
 
 type deferredWrite struct {
@@ -57,14 +64,40 @@ type migJob struct {
 	appID     int
 	remaining int
 	inflight  int
+	failed    bool // a line exhausted its NACK retries; stop issuing
 	writes    []deferredWrite
 	done      func(cycle uint64)
+	fail      func(cycle uint64)
+}
+
+// anyBusy reports whether any line still occupies hardware resources; a
+// failed job is only retired once everything it reserved has drained.
+func (j *migJob) anyBusy() bool {
+	for i := range j.lines {
+		if j.lines[i].state == lineStateBusy {
+			return true
+		}
+	}
+	return false
 }
 
 // StartMigration begins copying the given lines (src[i] -> dst[i]) in the
 // requested mode. done is invoked once every line has been written. For
 // ModePPMM and ModeReadWrite every src/dst pair must be within one stack.
+//
+// StartMigration has no failure path: if the MigNACK fault hook is armed and
+// a line exhausts its retries, done is invoked anyway (legacy behaviour).
+// Callers that must distinguish failed copies use StartMigrationChecked.
 func (h *HBM) StartMigration(cycle uint64, src, dst []addr.Location, mode MigrationMode, appID int, done func(uint64)) error {
+	return h.StartMigrationChecked(cycle, src, dst, mode, appID, done, nil)
+}
+
+// StartMigrationChecked is StartMigration with an explicit failure callback:
+// if any line's MIGRATION command is NACKed more than maxLineRetries times
+// (fault injection), the job stops, waits for its busy lines to drain, and
+// invokes fail instead of done. Exactly one of done/fail fires, exactly once.
+// A nil fail falls back to done on failure.
+func (h *HBM) StartMigrationChecked(cycle uint64, src, dst []addr.Location, mode MigrationMode, appID int, done, fail func(uint64)) error {
 	if len(src) != len(dst) {
 		return fmt.Errorf("dram: migration src/dst length mismatch: %d vs %d", len(src), len(dst))
 	}
@@ -77,6 +110,7 @@ func (h *HBM) StartMigration(cycle uint64, src, dst []addr.Location, mode Migrat
 		appID:     appID,
 		remaining: len(src),
 		done:      done,
+		fail:      fail,
 	}
 	for i := range src {
 		if mode != ModeCrossStack && src[i].Stack != dst[i].Stack {
@@ -89,6 +123,12 @@ func (h *HBM) StartMigration(cycle uint64, src, dst []addr.Location, mode Migrat
 	return nil
 }
 
+// jobFinished reports whether a migration job can be retired: either every
+// line completed, or the job failed and all its busy lines have drained.
+func jobFinished(job *migJob) bool {
+	return job.remaining == 0 || (job.failed && !job.anyBusy())
+}
+
 func (h *HBM) tickMigrations(cycle uint64) {
 	h.migsDone = h.migsDone[:0]
 	for _, job := range h.migs {
@@ -98,20 +138,22 @@ func (h *HBM) tickMigrations(cycle uint64) {
 		default:
 			h.tickCopy(cycle, job)
 		}
-		if job.remaining == 0 {
+		if jobFinished(job) {
 			h.migsDone = append(h.migsDone, job)
 		}
 	}
 	if len(h.migsDone) > 0 {
 		live := h.migs[:0]
 		for _, job := range h.migs {
-			if job.remaining > 0 {
+			if !jobFinished(job) {
 				live = append(live, job)
 			}
 		}
 		h.migs = live
 		for _, job := range h.migsDone {
-			if job.done != nil {
+			if job.failed && job.fail != nil {
+				job.fail(cycle)
+			} else if job.done != nil {
 				job.done(cycle)
 			}
 		}
@@ -125,16 +167,37 @@ func (h *HBM) tickMigrations(cycle uint64) {
 func (h *HBM) tickPPMM(cycle uint64, job *migJob) {
 	for i := range job.lines {
 		l := &job.lines[i]
-		if l.state == lineStateBusy && l.endAt <= cycle {
-			l.state = lineStateDone
-			job.remaining--
-			h.activeMigPP--
-			h.tsvBusy[l.src.Stack]--
+		if l.state != lineStateBusy || l.endAt > cycle {
+			continue
 		}
+		// The command has released its banks and TSV set either way.
+		h.activeMigPP--
+		h.tsvBusy[l.src.Stack]--
+		// Fault injection: sample whether this MIGRATION was NACKed and
+		// must be retried. A line that exhausts its retries fails the
+		// whole job; already-failed jobs stop sampling (their lines just
+		// drain).
+		if !job.failed && h.MigNACK != nil && h.MigNACK() {
+			l.retries++
+			if l.retries > maxLineRetries {
+				job.failed = true
+				l.state = lineStatePending
+			} else {
+				// Exponential backoff before the retry is eligible.
+				l.state = lineStatePending
+				l.retryAt = cycle + uint64(h.cfg.MigrationCycles)<<l.retries
+			}
+			continue
+		}
+		l.state = lineStateDone
+		job.remaining--
+	}
+	if job.failed {
+		return // stop issuing; busy lines drain, then the job retires
 	}
 	for i := range job.lines {
 		l := &job.lines[i]
-		if l.state != lineStatePending {
+		if l.state != lineStatePending || l.retryAt > cycle {
 			continue
 		}
 		if !h.tryIssueMigration(cycle, l) {

@@ -35,6 +35,13 @@ type Options struct {
 	// determinism contract); progress logs are buffered per task and
 	// flushed in sweep order.
 	Parallel int
+
+	// FaultSpec, when non-empty, replaces the FaultSweep figure's default
+	// arms with a single custom arm (fault.ParseSpec format, e.g.
+	// "sm=2,group=1,mig=0.05").
+	FaultSpec string
+	// FaultSeed seeds the fault injector (0 = the config seed).
+	FaultSeed int64
 }
 
 // runner returns the sweep fan-out pool.

@@ -1,0 +1,84 @@
+package experiments
+
+// Golden determinism under fault injection: a degraded-mode sweep with a
+// fixed fault seed must render byte-identically for any worker count and
+// across reruns — faults change what the machine does, never whether the
+// result is reproducible.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderFaultSweep runs the FaultSweep figure with the given worker count
+// and returns its fully formatted output plus the progress log.
+func renderFaultSweep(t *testing.T, workers int) (string, string) {
+	t.Helper()
+	o := tiny()
+	o.Cfg.MaxCycles = 60_000
+	o.Cfg.EpochCycles = 15_000
+	o.Mixes = 2
+	o.Parallel = workers
+	o.FaultSpec = "sm=2,group=1,mig=0.05"
+	o.FaultSeed = 7
+	var log bytes.Buffer
+	o.Log = &log
+	f, err := o.FaultSweep()
+	if err != nil {
+		t.Fatalf("FaultSweep(workers=%d): %v", workers, err)
+	}
+	var out bytes.Buffer
+	f.Format(&out)
+	return out.String(), log.String()
+}
+
+func TestGoldenFaultSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	serial, serialLog := renderFaultSweep(t, 1)
+	if len(serial) == 0 {
+		t.Fatal("FaultSweep rendered nothing")
+	}
+	// Byte-identical across worker counts.
+	for _, workers := range []int{2, 8} {
+		par, parLog := renderFaultSweep(t, workers)
+		if par != serial {
+			t.Errorf("workers=%d: faulted sweep not byte-identical to serial\nserial:\n%s\nparallel:\n%s",
+				workers, serial, par)
+		}
+		if parLog != serialLog {
+			t.Errorf("workers=%d: progress log not byte-identical to serial", workers)
+		}
+	}
+	// Byte-identical across reruns with the same seed.
+	again, _ := renderFaultSweep(t, 4)
+	if again != serial {
+		t.Errorf("rerun with identical fault seed differs:\nfirst:\n%s\nrerun:\n%s", serial, again)
+	}
+}
+
+func TestFaultSweepCustomSpecArms(t *testing.T) {
+	o := tiny()
+	o.FaultSpec = "sm=1"
+	o.Cfg.MaxCycles = 20_000
+	o.Cfg.EpochCycles = 10_000
+	f, err := o.FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("custom spec produced %d arms, want 2 (healthy + custom)", len(f.Series))
+	}
+	if f.Series[0].Name != "healthy" || f.Series[1].Name != "sm=1" {
+		t.Errorf("arm names = %q, %q; want healthy, sm=1", f.Series[0].Name, f.Series[1].Name)
+	}
+}
+
+func TestFaultSweepRejectsBadSpec(t *testing.T) {
+	o := tiny()
+	o.FaultSpec = "sm=banana"
+	if _, err := o.FaultSweep(); err == nil {
+		t.Fatal("FaultSweep accepted a malformed fault spec")
+	}
+}

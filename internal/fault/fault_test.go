@@ -1,0 +1,235 @@
+package fault
+
+import (
+	"testing"
+)
+
+func testGeo() Geometry {
+	return Geometry{
+		NumSMs:        80,
+		NumGroups:     8,
+		NumChannels:   32,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		Horizon:       150_000,
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"none",
+		"sm=2",
+		"sm=2,group=1",
+		"sm=2,group=1,bank=4,noc=0.001,mig=0.05",
+		"group=3,mig=0.9",
+	}
+	for _, s := range cases {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q.String()=%q): %v", s, spec.String(), err)
+		}
+		if back != spec {
+			t.Errorf("round trip of %q: %+v != %+v", s, back, spec)
+		}
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, s := range []string{"", "none", "  "} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if !spec.Empty() {
+			t.Errorf("ParseSpec(%q) = %+v, want empty", s, spec)
+		}
+	}
+	if got := (Spec{}).String(); got != "none" {
+		t.Errorf("empty Spec.String() = %q, want \"none\"", got)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"bogus=1",        // unknown key
+		"sm",             // not key=value
+		"sm=-1",          // negative count
+		"sm=two",         // non-integer
+		"noc=1.5",        // probability out of range
+		"noc=1",          // 1 is excluded (want [0,1))
+		"mig=-0.1",       // negative probability
+		"mig=x",          // non-numeric
+		"sm=1,group=bad", // second token malformed
+	}
+	for _, s := range cases {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", s)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	spec := Spec{SMs: 3, Groups: 2, Banks: 4, NoCDrop: 0.01, MigNACK: 0.1}
+	a := NewInjector(42, spec, testGeo())
+	b := NewInjector(42, spec, testGeo())
+
+	pa, pb := a.Plan(), b.Plan()
+	if len(pa) != len(pb) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("plan[%d] differs: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+	// Probabilistic streams must replay identically call for call.
+	for i := 0; i < 10_000; i++ {
+		if a.DropMessage() != b.DropMessage() {
+			t.Fatalf("DropMessage diverges at call %d", i)
+		}
+		if a.NACKMigration() != b.NACKMigration() {
+			t.Fatalf("NACKMigration diverges at call %d", i)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Errorf("counts diverge: %+v vs %+v", a.Counts(), b.Counts())
+	}
+	// A different seed must give a different schedule (sanity, not proof).
+	c := NewInjector(43, spec, testGeo())
+	same := true
+	for i, ev := range c.Plan() {
+		if ev != pa[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical plans")
+	}
+}
+
+func TestInjectorPlanShape(t *testing.T) {
+	geo := testGeo()
+	spec := Spec{SMs: 4, Groups: 2, Banks: 3}
+	inj := NewInjector(7, spec, geo)
+	plan := inj.Plan()
+	if want := spec.SMs + spec.Groups + spec.Banks; len(plan) != want {
+		t.Fatalf("plan has %d events, want %d", len(plan), want)
+	}
+	lo, hi := geo.Horizon/5, geo.Horizon // events land in [20%, 80%]+jitter < horizon
+	seenSM := map[int]bool{}
+	seenGrp := map[int]bool{}
+	var prev uint64
+	for i, ev := range plan {
+		if ev.Cycle < lo || ev.Cycle > hi {
+			t.Errorf("event %d at cycle %d outside [%d, %d]", i, ev.Cycle, lo, hi)
+		}
+		if ev.Cycle < prev {
+			t.Errorf("plan not sorted: event %d at %d after %d", i, ev.Cycle, prev)
+		}
+		prev = ev.Cycle
+		switch ev.Kind {
+		case SMFail:
+			if ev.Unit < 0 || ev.Unit >= geo.NumSMs {
+				t.Errorf("SM fail targets out-of-range SM %d", ev.Unit)
+			}
+			if seenSM[ev.Unit] {
+				t.Errorf("SM %d failed twice", ev.Unit)
+			}
+			seenSM[ev.Unit] = true
+		case GroupFail:
+			if ev.Unit < 0 || ev.Unit >= geo.NumGroups {
+				t.Errorf("group fail targets out-of-range group %d", ev.Unit)
+			}
+			if seenGrp[ev.Unit] {
+				t.Errorf("group %d failed twice", ev.Unit)
+			}
+			seenGrp[ev.Unit] = true
+		case BankFault:
+			if ev.Unit < 0 || ev.Unit >= geo.NumChannels {
+				t.Errorf("bank fault targets out-of-range channel %d", ev.Unit)
+			}
+			if banks := geo.BankGroups * geo.BanksPerGroup; ev.Aux < 0 || ev.Aux >= banks {
+				t.Errorf("bank fault targets out-of-range bank %d", ev.Aux)
+			}
+			if ev.Duration < 2000 || ev.Duration > 10_000 {
+				t.Errorf("bank fault duration %d outside [2000, 10000]", ev.Duration)
+			}
+		}
+	}
+}
+
+func TestInjectorClamping(t *testing.T) {
+	geo := testGeo()
+	// Ask for more failures than the machine can survive.
+	inj := NewInjector(1, Spec{SMs: 200, Groups: 50}, geo)
+	sm, grp := 0, 0
+	for _, ev := range inj.Plan() {
+		switch ev.Kind {
+		case SMFail:
+			sm++
+		case GroupFail:
+			grp++
+		}
+	}
+	if want := geo.NumSMs - 2; sm != want {
+		t.Errorf("planned %d SM fails, want clamp to %d (two SMs must survive)", sm, want)
+	}
+	if want := geo.NumGroups - 1; grp != want {
+		t.Errorf("planned %d group fails, want clamp to %d (one group must survive)", grp, want)
+	}
+}
+
+func TestPopDueAndCounts(t *testing.T) {
+	geo := testGeo()
+	inj := NewInjector(5, Spec{SMs: 2, Groups: 1}, geo)
+	plan := inj.Plan()
+	first, ok := inj.FirstCycle()
+	if !ok || first != plan[0].Cycle {
+		t.Fatalf("FirstCycle = (%d, %v), want (%d, true)", first, ok, plan[0].Cycle)
+	}
+	if inj.Armed(first - 1) {
+		t.Error("Armed before the first event's cycle")
+	}
+	if !inj.Armed(first) {
+		t.Error("not Armed at the first event's cycle")
+	}
+	// Drain everything at the horizon.
+	n := 0
+	for {
+		if _, ok := inj.PopDue(geo.Horizon); !ok {
+			break
+		}
+		n++
+	}
+	if n != len(plan) {
+		t.Errorf("drained %d events, want %d", n, len(plan))
+	}
+	c := inj.Counts()
+	if c.SMFails != 2 || c.GroupFails != 1 {
+		t.Errorf("counts = %+v, want 2 SM fails and 1 group fail", c)
+	}
+	if inj.Armed(geo.Horizon) {
+		t.Error("Armed after the plan is drained")
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var inj *Injector
+	if inj.Armed(0) {
+		t.Error("nil injector Armed")
+	}
+	if inj.DropMessage() || inj.NACKMigration() {
+		t.Error("nil injector delivered a probabilistic fault")
+	}
+	if c := inj.Counts(); c != (Counts{}) {
+		t.Errorf("nil injector counts = %+v", c)
+	}
+	if _, ok := inj.FirstCycle(); ok {
+		t.Error("nil injector has a FirstCycle")
+	}
+}

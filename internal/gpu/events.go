@@ -45,6 +45,7 @@ type wheel struct {
 	overflow []wheelEvent
 	overMin  uint64
 	pending  int
+	fired    uint64 // cumulative events fired (watchdog progress signal)
 
 	// spare recycles fired bucket backing arrays.
 	spare [][]wheelEvent
@@ -116,6 +117,7 @@ func (w *wheel) run(cycle uint64) {
 			ev := &b[i]
 			if ev.at == cycle {
 				w.pending--
+				w.fired++
 				fired = true
 				w.fire(ev, cycle)
 			} else {
@@ -152,3 +154,30 @@ func (w *wheel) drainOverflow(cycle uint64) {
 
 // Pending reports outstanding events (for draining).
 func (w *wheel) Pending() int { return w.pending }
+
+// audit validates the wheel's internal accounting at a quiescent point
+// (between ticks): the pending counter must equal the events actually
+// stored, no stored event may be in the past, and the overflow minimum must
+// lower-bound every overflow deadline. It returns a short description of the
+// first violation, or "" when consistent.
+func (w *wheel) audit(cycle uint64) string {
+	n := 0
+	for i := range w.buckets {
+		for j := range w.buckets[i] {
+			if w.buckets[i][j].at < cycle {
+				return "bucketed event in the past"
+			}
+			n++
+		}
+	}
+	for i := range w.overflow {
+		if w.overflow[i].at < w.overMin {
+			return "overflow event below overMin"
+		}
+		n++
+	}
+	if n != w.pending {
+		return "pending counter out of sync with stored events"
+	}
+	return ""
+}

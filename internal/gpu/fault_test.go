@@ -1,0 +1,290 @@
+package gpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ugpu/internal/fault"
+)
+
+// faultOptions returns test options with a fault spec armed.
+func faultOptions(spec fault.Spec, seed int64) Options {
+	opt := testOptions()
+	opt.Faults = spec
+	opt.FaultSeed = seed
+	return opt
+}
+
+func TestDegradedRunCompletes(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxCycles = 120_000
+	g, err := New(cfg, []AppSpec{
+		{Bench: bench(t, "SRAD"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "DXTC"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, faultOptions(fault.Spec{SMs: 2, Groups: 1}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := uint64(0); c < uint64(cfg.MaxCycles); c += uint64(cfg.EpochCycles) {
+		if err := g.RunChecked(uint64(cfg.EpochCycles)); err != nil {
+			t.Fatalf("RunChecked: %v", err)
+		}
+		g.EndEpoch()
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after epoch at cycle %d: %v", c, err)
+		}
+	}
+
+	if got := g.AvailableSMs(); got != cfg.NumSMs-2 {
+		t.Errorf("AvailableSMs = %d, want %d", got, cfg.NumSMs-2)
+	}
+	if got := len(g.FailedSMs()); got != 2 {
+		t.Errorf("FailedSMs = %v, want 2 entries", g.FailedSMs())
+	}
+	if got := len(g.DeadGroups()); got != 1 {
+		t.Errorf("DeadGroups = %v, want 1 entry", g.DeadGroups())
+	}
+	if got := len(g.AliveGroups()); got != cfg.ChannelGroups()-1 {
+		t.Errorf("AliveGroups = %v, want %d entries", g.AliveGroups(), cfg.ChannelGroups()-1)
+	}
+	if g.FirstFaultCycle() == 0 {
+		t.Error("FirstFaultCycle = 0 after a faulted run")
+	}
+	ic := g.InjectorCounts()
+	if ic.SMFails != 2 || ic.GroupFails != 1 {
+		t.Errorf("injector counts = %+v, want 2 SM fails and 1 group fail", ic)
+	}
+
+	// Ownership repaired: no app owns a failed SM or a dead group, and
+	// every app still holds at least one of each.
+	dead := g.DeadGroups()[0]
+	for _, app := range g.apps {
+		if len(app.SMs) == 0 && app.inbound == 0 {
+			t.Errorf("app %d starved of SMs", app.ID)
+		}
+		if len(app.Groups) == 0 {
+			t.Errorf("app %d starved of channel groups", app.ID)
+		}
+		for _, gr := range app.Groups {
+			if gr == dead {
+				t.Errorf("app %d still owns dead group %d", app.ID, dead)
+			}
+		}
+		for _, id := range app.SMs {
+			if g.failedSMs[id] {
+				t.Errorf("app %d still owns failed SM %d", app.ID, id)
+			}
+		}
+	}
+}
+
+func TestGroupFailEvacuatesPages(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxCycles = 120_000
+	g, err := New(cfg, []AppSpec{
+		{Bench: bench(t, "SRAD"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "LBM"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, faultOptions(fault.Spec{Groups: 1}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunChecked(uint64(cfg.MaxCycles)); err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	if g.FaultStats().EmergencyMigrations == 0 {
+		t.Error("group fail evacuated no pages (expected emergency migrations)")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Errorf("invariants after degraded run: %v", err)
+	}
+}
+
+func TestMigrationNACKRetryAndSpill(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxCycles = 200_000
+	// A near-certain NACK probability forces per-line retry exhaustion, which
+	// fails migration jobs, which exercises the re-queue/backoff path and
+	// finally the slow-path driver spill remap. The group is killed directly
+	// at a fixed early cycle (rather than via the injector's mid-run
+	// schedule) so the whole retry cascade deterministically fits in the run.
+	g, err := New(cfg, []AppSpec{
+		{Bench: bench(t, "SRAD"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "LBM"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, faultOptions(fault.Spec{MigNACK: 0.9}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunChecked(30_000); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	g.failGroup(g.Cycle(), 7)
+	if err := g.RunChecked(uint64(cfg.MaxCycles) - 30_000); err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	fs := g.FaultStats()
+	if fs.MigFailures == 0 {
+		t.Error("MigNACK=0.9 produced no failed migration jobs")
+	}
+	if fs.SpillRemaps == 0 {
+		t.Error("retry exhaustion produced no spill remaps")
+	}
+	if fs.MigRetries == 0 {
+		t.Error("failed jobs were never re-queued before spilling")
+	}
+	if g.InjectorCounts().MigNACKs == 0 {
+		t.Error("injector delivered no NACKs")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Errorf("invariants after NACK-storm run: %v", err)
+	}
+}
+
+func TestWatchdogDetectsLivelock(t *testing.T) {
+	cfg := testConfig()
+	cfg.WatchdogCycles = 5_000
+	// Memory-bound apps: every warp soon issues a load, so swallowing load
+	// completions wedges the whole machine instead of leaving compute-bound
+	// warps free-running (which would be progress, not a stall).
+	g, err := New(cfg, []AppSpec{
+		{Bench: bench(t, "PVC"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "LBM"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the machine warm up and get loads in flight, then swallow every
+	// load completion: warps block forever on loads that never return.
+	if err := g.RunChecked(2_000); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	g.testBlackhole = true
+	err = g.RunChecked(uint64(cfg.WatchdogCycles) * 10)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("RunChecked = %v, want *StallError", err)
+	}
+	if stall.Window != uint64(cfg.WatchdogCycles) {
+		t.Errorf("stall window = %d, want %d", stall.Window, cfg.WatchdogCycles)
+	}
+	// Detection must happen within a few windows (in-flight traffic takes a
+	// couple of windows to drain before the fingerprint can freeze), not at
+	// the horizon.
+	if lim := uint64(cfg.WatchdogCycles)*6 + 2_000; stall.Cycle > lim {
+		t.Errorf("stall detected at cycle %d, want <= %d", stall.Cycle, lim)
+	}
+	if stall.Snap.OutstandingLoads == 0 && stall.Snap.BlockedWarps == 0 {
+		t.Errorf("stall snapshot shows no wedged work: %s", stall.Snap)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "no forward progress") {
+		t.Errorf("stall error %q does not describe the hang", msg)
+	}
+}
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	cfg := testConfig()
+	cfg.WatchdogCycles = 5_000
+	g := evenSplit(t, "SRAD", "DXTC")
+	g.cfg.WatchdogCycles = cfg.WatchdogCycles
+	if err := g.RunChecked(60_000); err != nil {
+		t.Fatalf("healthy run tripped the watchdog: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	g := evenSplit(t, "SRAD", "DXTC")
+	g.Run(5_000)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants on healthy machine: %v", err)
+	}
+
+	// Corrupt: mark an owned SM as failed without repairing ownership.
+	owned := g.apps[0].SMs[0]
+	g.failedSMs[owned] = true
+	err := g.CheckInvariants()
+	var inv *InvariantError
+	if !errors.As(err, &inv) {
+		t.Fatalf("CheckInvariants = %v, want *InvariantError", err)
+	}
+	if inv.Name != "sm-conservation" {
+		t.Errorf("violated invariant %q, want sm-conservation", inv.Name)
+	}
+	g.failedSMs[owned] = false
+
+	// Corrupt: give both apps the same SM.
+	g2 := evenSplit(t, "SRAD", "DXTC")
+	g2.apps[1].SMs = append(g2.apps[1].SMs, g2.apps[0].SMs[0])
+	if err := g2.CheckInvariants(); err == nil {
+		t.Error("double-owned SM passed invariants")
+	}
+
+	// Corrupt: app owns a dead group.
+	g3 := evenSplit(t, "SRAD", "DXTC")
+	g3.deadGroups[g3.apps[0].Groups[0]] = true
+	err = g3.CheckInvariants()
+	if !errors.As(err, &inv) || inv.Name != "dead-group-ownership" {
+		t.Errorf("dead-group corruption detected as %v, want dead-group-ownership", err)
+	}
+}
+
+func TestFaultedRunsAreDeterministic(t *testing.T) {
+	run := func() (Snapshot, FaultTotals, fault.Counts, [2]float64) {
+		cfg := testConfig()
+		cfg.MaxCycles = 100_000
+		g, err := New(cfg, []AppSpec{
+			{Bench: bench(t, "SRAD"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+			{Bench: bench(t, "DXTC"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+		}, faultOptions(fault.Spec{SMs: 1, Groups: 1, MigNACK: 0.2}, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.RunChecked(uint64(cfg.MaxCycles)); err != nil {
+			t.Fatal(err)
+		}
+		st := g.EndEpoch()
+		return g.TakeSnapshot(), g.FaultStats(), g.InjectorCounts(), [2]float64{st[0].IPC(), st[1].IPC()}
+	}
+	s1, f1, c1, ipc1 := run()
+	s2, f2, c2, ipc2 := run()
+	if f1 != f2 {
+		t.Errorf("fault stats diverge: %+v vs %+v", f1, f2)
+	}
+	if c1 != c2 {
+		t.Errorf("injector counts diverge: %+v vs %+v", c1, c2)
+	}
+	if ipc1 != ipc2 {
+		t.Errorf("IPCs diverge: %v vs %v", ipc1, ipc2)
+	}
+	if s1.String() != s2.String() {
+		t.Errorf("end-state snapshots diverge:\n  %s\n  %s", s1, s2)
+	}
+}
+
+func TestOverSubscriptionRejected(t *testing.T) {
+	cfg := testConfig()
+	g, err := New(cfg, []AppSpec{
+		{Bench: bench(t, "SRAD"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "DXTC"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, faultOptions(fault.Spec{SMs: 2}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunChecked(uint64(cfg.MaxCycles)); err != nil {
+		t.Fatal(err)
+	}
+	// Two SMs are gone: a partition summing to the original 80 must be
+	// rejected against AvailableSMs.
+	err = g.ApplyPartition(g.Cycle(), []Partition{
+		{SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{SMs: 40, Groups: []int{4, 5, 6, 7}},
+	})
+	if err == nil {
+		t.Fatal("ApplyPartition accepted a partition exceeding surviving SMs")
+	}
+	// SetGroups must refuse a dead group.
+	if dead := g.DeadGroups(); len(dead) > 0 {
+		if err := g.SetGroups(g.Cycle(), 0, []int{dead[0]}); err == nil {
+			t.Error("SetGroups accepted a dead group")
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"ugpu/internal/cache"
 	"ugpu/internal/config"
 	"ugpu/internal/dram"
+	"ugpu/internal/fault"
 	"ugpu/internal/noc"
 	"ugpu/internal/sm"
 	"ugpu/internal/tlb"
@@ -49,6 +50,12 @@ type Options struct {
 	ScrubBatch int
 	// FootprintScale divides Table 2 footprints (DESIGN.md scaling).
 	FootprintScale int
+	// Faults describes deterministic fault injection for this run; the zero
+	// Spec injects nothing and builds no injector.
+	Faults fault.Spec
+	// FaultSeed seeds the fault injector's schedule and probabilistic
+	// streams. 0 falls back to the config seed.
+	FaultSeed int64
 }
 
 // DefaultOptions returns the UGPU-with-PageMove configuration: fault-driven
@@ -202,6 +209,23 @@ type GPU struct {
 	migActive   int
 	reconfigSMs int
 
+	// Fault injection and degraded-mode state (see faults.go).
+	inj             *fault.Injector
+	failedSMs       []bool
+	deadGroups      []bool
+	pendingMoveTo   map[int]*App // SM id -> destination app while drain/switch is in flight
+	faultStats      FaultTotals
+	firstFaultCycle uint64 // 0 = no discrete fault delivered yet
+
+	// Watchdog bookkeeping (see watchdog.go).
+	lastFingerprint uint64
+	lastProgressAt  uint64
+
+	// testBlackhole (tests only) suppresses load completion so warps wedge
+	// at their outstanding-load bound — an injected livelock for watchdog
+	// tests.
+	testBlackhole bool
+
 	// Per-epoch reallocation-overhead accounting (Figure 12a).
 	dataMigCycles uint64
 	smMigCycles   uint64
@@ -230,6 +254,15 @@ type Totals struct {
 	ChecksSampled       uint64
 }
 
+// FaultTotals aggregates GPU-side degraded-mode counters (the injector
+// itself tallies raw fault deliveries; these count the recovery work).
+type FaultTotals struct {
+	EmergencyMigrations uint64 // pages evacuated off dying channel groups
+	MigFailures         uint64 // migration jobs that exhausted NACK retries
+	MigRetries          uint64 // failed jobs re-queued with backoff
+	SpillRemaps         uint64 // jobs spilled to the slow-path driver remap
+}
+
 type migWaiter struct {
 	sm  int
 	va  uint64
@@ -245,10 +278,13 @@ type replayReq struct {
 	w   *sm.Warp
 }
 
-// migJobReq is a queued page-migration request at the driver.
+// migJobReq is a queued page-migration request at the driver. attempts
+// counts failed hardware-copy attempts (NACK-exhausted jobs re-queue with
+// exponential backoff before spilling to a slow-path remap).
 type migJobReq struct {
-	app int
-	vpn uint64
+	app      int
+	vpn      uint64
+	attempts uint8
 }
 
 func log2of(v int) uint {
@@ -306,10 +342,33 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 		transPending: make(map[uint64][]migWaiter),
 		replayQ:      make([][]replayReq, cfg.NumSMs),
 		migInFlight:  make(map[uint64]bool),
+		failedSMs:    make([]bool, cfg.NumSMs),
+		deadGroups:   make([]bool, cfg.ChannelGroups()),
+		pendingMoveTo: make(map[int]*App),
 		pageShift:    log2of(cfg.PageBytes),
 		lineShift:    log2of(cfg.L1LineBytes),
 	}
 	g.wheel.g = g
+	if !opt.Faults.Empty() {
+		seed := opt.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		g.inj = fault.NewInjector(seed, opt.Faults, fault.Geometry{
+			NumSMs:        cfg.NumSMs,
+			NumGroups:     cfg.ChannelGroups(),
+			NumChannels:   cfg.NumChannels(),
+			BankGroups:    cfg.BankGroups,
+			BanksPerGroup: cfg.BanksPerGroup,
+			Horizon:       uint64(cfg.MaxCycles),
+		})
+		g.hbm.MigNACK = g.inj.NACKMigration
+		if opt.Faults.NoCDrop > 0 {
+			drop := func(src, dst int) bool { return g.inj.DropMessage() }
+			g.reqNet.Drop = drop
+			g.rspNet.Drop = drop
+		}
+	}
 	g.onLLCArrive = func(at uint64, arg any) {
 		req := arg.(*memReq)
 		g.llcArrive(at, req.slice, req)
@@ -406,6 +465,9 @@ func (g *GPU) RunUntil(cycle uint64) {
 
 func (g *GPU) tick() {
 	c := g.cycle
+	if g.inj.Armed(c) {
+		g.applyFaults(c)
+	}
 	g.wheel.run(c)
 	g.reqNet.Tick(c)
 	g.walker.Tick(c)

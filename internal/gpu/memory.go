@@ -115,6 +115,9 @@ func (g *GPU) l1AccessAsync(cycle uint64, smID, appID int, pa, vpn uint64, w *sm
 }
 
 func (g *GPU) scheduleWarpDone(now, at uint64, appID int, vpn uint64, w *sm.Warp) {
+	if g.testBlackhole {
+		return // injected livelock (watchdog tests): the load never completes
+	}
 	g.maybeCheck(appID, vpn)
 	g.wheel.scheduleEvent(now, wheelEvent{at: at, kind: evWarpDone, w: w})
 }
@@ -238,6 +241,9 @@ func (g *GPU) l1Fill(at uint64, req *memReq) {
 	for _, wtr := range ws {
 		w := wtr.(*sm.Warp)
 		g.maybeCheck(req.app, req.vpn)
+		if g.testBlackhole {
+			continue // injected livelock: swallow the completion
+		}
 		w.LoadDone()
 	}
 	mshr.Recycle(ws)
@@ -417,7 +423,17 @@ func (g *GPU) asyncRebalance(at uint64, appID int, vpn uint64) {
 	g.startQueuedMigrations(at)
 }
 
+// maxMigrationAttempts bounds hardware-copy attempts per page before the
+// driver gives up on PageMove and spills to the slow-path remap.
+const maxMigrationAttempts = 3
+
 // startQueuedMigrations begins queued page copies while concurrency allows.
+// A job whose MIGRATION commands exhaust their NACK retries (fault
+// injection) aborts the reserved destination frame and re-queues with
+// exponential driver backoff; after maxMigrationAttempts the page is
+// rehomed by the slow-path driver remap instead. The page's migInFlight
+// mark survives retries, so merged translation waiters keep waiting and are
+// woken exactly once by completeMigration on every terminal path.
 func (g *GPU) startQueuedMigrations(at uint64) {
 	for g.migActive < maxConcurrentMigrations && len(g.migQueue) > 0 {
 		req := g.migQueue[0]
@@ -430,16 +446,50 @@ func (g *GPU) startQueuedMigrations(at uint64) {
 			continue
 		}
 		g.migActive++
-		err := g.hbm.StartMigration(at, mig.Src, mig.Dst, g.opt.MigrationMode, appID, func(done uint64) {
-			mig.Commit()
-			g.migActive--
-			g.completeMigration(done, appID, vpn)
-			g.startQueuedMigrations(done)
-		})
+		attempts := req.attempts
+		err := g.hbm.StartMigrationChecked(at, mig.Src, mig.Dst, g.opt.MigrationMode, appID,
+			func(done uint64) {
+				mig.Commit()
+				g.migActive--
+				g.completeMigration(done, appID, vpn)
+				g.startQueuedMigrations(done)
+			},
+			func(done uint64) {
+				mig.Abort()
+				g.migActive--
+				g.faultStats.MigFailures++
+				if attempts+1 < maxMigrationAttempts {
+					g.faultStats.MigRetries++
+					backoff := uint64(g.cfg.DriverDelay) << (attempts + 1)
+					g.wheel.schedule(done, done+backoff, func(c uint64) {
+						// Retries jump the queue: the page has already waited a
+						// full attempt plus backoff, and re-queueing at the tail
+						// behind a mass evacuation would defer the second attempt
+						// (and the final spill remap) almost indefinitely.
+						g.migQueue = append([]migJobReq{{app: appID, vpn: vpn, attempts: attempts + 1}}, g.migQueue...)
+						g.startQueuedMigrations(c)
+					})
+				} else {
+					g.spillRemap(done, appID, vpn)
+				}
+				g.startQueuedMigrations(done)
+			})
 		if err != nil {
 			panic(fmt.Sprintf("gpu: migration start failed: %v", err))
 		}
 	}
+}
+
+// spillRemap is the last-resort path for a page whose hardware copies keep
+// failing: after a page-fault-scale driver delay the page is rehomed onto a
+// live group (the driver copies the data through the ordinary read path) and
+// the stalled translation resolves.
+func (g *GPU) spillRemap(at uint64, appID int, vpn uint64) {
+	g.faultStats.SpillRemaps++
+	g.wheel.schedule(at, at+uint64(g.cfg.PageFaultDelay), func(c uint64) {
+		g.vmm.RemapPage(appID, vpn)
+		g.completeMigration(c, appID, vpn)
+	})
 }
 
 // completeMigration performs the TLB shootdown for the moved page and

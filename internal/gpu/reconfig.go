@@ -36,9 +36,13 @@ func (g *GPU) MoveSMs(cycle uint64, fromID, toID, n int) error {
 	for _, id := range moved {
 		s := g.sms[id]
 		g.reconfigSMs++
+		// Track the in-flight destination so a fault striking a moving SM
+		// can unwind the inbound accounting (faults.go).
+		g.pendingMoveTo[id] = to
 		handoff := func(c uint64, freed *smpkg.SM) {
 			g.reconfigSMs--
 			to.inbound--
+			delete(g.pendingMoveTo, freed.ID)
 			to.SMs = append(to.SMs, freed.ID)
 			freed.Assign(c, to.smApp)
 		}
@@ -103,6 +107,14 @@ func (g *GPU) injectContextTraffic(cycle uint64, app *App) {
 func (g *GPU) SetGroups(cycle uint64, appID int, groups []int) error {
 	if len(groups) == 0 {
 		return fmt.Errorf("gpu: app %d needs at least one channel group", appID)
+	}
+	for _, gr := range groups {
+		if gr < 0 || gr >= len(g.deadGroups) {
+			return fmt.Errorf("gpu: app %d assigned invalid channel group %d", appID, gr)
+		}
+		if g.deadGroups[gr] {
+			return fmt.Errorf("gpu: app %d assigned dead channel group %d", appID, gr)
+		}
 	}
 	app := g.apps[appID]
 	if equalGroups(app.Groups, groups) {
@@ -180,8 +192,8 @@ func (g *GPU) ApplyPartition(cycle uint64, targets []Partition) error {
 	for _, t := range targets {
 		totalSM += t.SMs
 	}
-	if totalSM > g.cfg.NumSMs {
-		return fmt.Errorf("gpu: partition wants %d SMs, have %d", totalSM, g.cfg.NumSMs)
+	if avail := g.AvailableSMs(); totalSM > avail {
+		return fmt.Errorf("gpu: partition wants %d SMs, have %d alive", totalSM, avail)
 	}
 	// Channel groups first (migration overlaps with SM draining).
 	for i, t := range targets {

@@ -48,6 +48,17 @@ func NP(ipc, alone float64) float64 {
 	return ipc / alone
 }
 
+// ThroughputLoss is the relative throughput lost to degradation: 1 -
+// post/pre, where pre is the healthy-epoch mean IPC and post the mean after
+// the first fault. 0 when there is no healthy baseline; negative values mean
+// the app sped up (e.g. it inherited resources from a failed neighbour).
+func ThroughputLoss(pre, post float64) float64 {
+	if pre <= 0 {
+		return 0
+	}
+	return 1 - post/pre
+}
+
 // AloneIPC measures a benchmark's IPC running alone on the full GPU for the
 // configured MaxCycles — the IPC_alone reference of Equations 3-4. Results
 // are cached per (benchmark, config-shape) so sweeps do not repeat solo

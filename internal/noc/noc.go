@@ -81,6 +81,7 @@ func (h *deliveryHeap) pop() delivery {
 type Stats struct {
 	Messages uint64
 	Bytes    uint64
+	Drops    uint64 // messages lost once and retransmitted (fault injection)
 }
 
 // Crossbar is one direction of the NoC (request or reply network).
@@ -94,6 +95,14 @@ type Crossbar struct {
 	pending deliveryHeap
 	seq     uint64
 	stats   Stats
+
+	// Drop, when non-nil, is sampled once per message (fault injection): a
+	// true return means the flit was corrupted/lost in the switch and must
+	// be retransmitted. The model charges one extra switch traversal plus
+	// re-serialization at both ports; messages are never silently lost, so
+	// callers' completion invariants hold even under injected drops. The
+	// hook must be deterministic for deterministic simulation output.
+	Drop func(src, dst int) bool
 }
 
 // New builds a crossbar with nSrc input ports and nDst output ports.
@@ -120,6 +129,15 @@ func (x *Crossbar) arrival(cycle uint64, src, dst, bytes int) uint64 {
 	atDst := max64(start+ser+x.latency, x.dstFree[dst])
 	x.dstFree[dst] = atDst + ser
 	arrive := atDst + ser
+	if x.Drop != nil && x.Drop(src, dst) {
+		// Injected packet loss: the source detects the drop and
+		// retransmits, occupying both ports a second time and traversing
+		// the switch again.
+		x.stats.Drops++
+		x.srcFree[src] += ser
+		arrive += ser + x.latency + ser
+		x.dstFree[dst] = arrive
+	}
 	x.stats.Messages++
 	x.stats.Bytes += uint64(bytes)
 	x.seq++

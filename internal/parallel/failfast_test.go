@@ -1,0 +1,152 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFailFastSerialSkipsAfterError(t *testing.T) {
+	r := &Runner{Workers: 1, FailFast: true}
+	boom := errors.New("boom")
+	var ran []int
+	var mu sync.Mutex
+	timings, err := r.ForEachTimed(8, func(i int) error {
+		mu.Lock()
+		ran = append(ran, i)
+		mu.Unlock()
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if want := []int{0, 1, 2, 3}; len(ran) != len(want) {
+		t.Errorf("ran tasks %v, want exactly %v", ran, want)
+	}
+	for i, tm := range timings {
+		wantSkip := i > 3
+		if tm.Skipped != wantSkip {
+			t.Errorf("task %d Skipped = %v, want %v", i, tm.Skipped, wantSkip)
+		}
+	}
+}
+
+func TestFailFastParallelSkipsQueuedTasks(t *testing.T) {
+	// Many tasks on few workers: task 0 fails immediately, so dispatch of
+	// the long tail is cancelled. Exactly which tasks were in flight when
+	// the error landed is timing-dependent (documented trade-off); the test
+	// asserts only the guaranteed properties.
+	const n = 10_000
+	r := &Runner{Workers: 2, FailFast: true}
+	boom := errors.New("boom")
+	var ran int64
+	var mu sync.Mutex
+	timings, err := r.ForEachTimed(n, func(i int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	skipped := 0
+	for _, tm := range timings {
+		if tm.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("FailFast cancelled nothing on a 10000-task sweep")
+	}
+	if int(ran)+skipped != n {
+		t.Errorf("ran %d + skipped %d != %d tasks", ran, skipped, n)
+	}
+	if timings[0].Skipped {
+		t.Error("the failing task itself is marked skipped")
+	}
+}
+
+func TestWithoutFailFastEverythingRuns(t *testing.T) {
+	r := &Runner{Workers: 4}
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	ran := 0
+	timings, err := r.ForEachTimed(64, func(i int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if ran != 64 {
+		t.Errorf("ran %d tasks, want all 64 (full-drain contract without FailFast)", ran)
+	}
+	for i, tm := range timings {
+		if tm.Skipped {
+			t.Errorf("task %d marked skipped without FailFast", i)
+		}
+	}
+}
+
+func TestPanicErrorCarriesIndexAndStack(t *testing.T) {
+	r := New(1)
+	err := r.ForEach(3, func(i int) error {
+		if i == 1 {
+			panic(fmt.Sprintf("kaboom-%d", i))
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 1 {
+		t.Errorf("panic index = %d, want 1", pe.Index)
+	}
+	msg := pe.Error()
+	if !strings.Contains(msg, "kaboom-1") {
+		t.Errorf("error %q does not carry the panic value", msg)
+	}
+	// The stack must point at the panicking function, not just the pool.
+	if !strings.Contains(msg, "failfast_test.go") && !strings.Contains(msg, "TestPanicErrorCarriesIndexAndStack") {
+		t.Errorf("error does not carry a useful stack:\n%s", msg)
+	}
+}
+
+func TestFailFastPanicAlsoCancels(t *testing.T) {
+	r := &Runner{Workers: 1, FailFast: true}
+	ran := 0
+	timings, err := r.ForEachTimed(5, func(i int) error {
+		ran++
+		if i == 1 {
+			panic("wedge")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if ran != 2 {
+		t.Errorf("ran %d tasks, want 2 (panic cancels the rest)", ran)
+	}
+	for i := 2; i < 5; i++ {
+		if !timings[i].Skipped {
+			t.Errorf("task %d not skipped after panic under FailFast", i)
+		}
+	}
+}

@@ -29,6 +29,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -42,6 +43,15 @@ type Runner struct {
 	// Workers is the maximum number of concurrently running tasks.
 	// Values <= 0 mean runtime.GOMAXPROCS(0).
 	Workers int
+
+	// FailFast cancels the sweep on the first task error: tasks not yet
+	// dispatched are skipped (marked in their Timing) instead of executed.
+	// Already-running tasks complete, so every recorded outcome is real.
+	// This trades the full-drain determinism guarantee for latency — with
+	// FailFast the set of executed tasks depends on completion timing, so
+	// only use it where a failure makes the remaining results worthless
+	// (e.g. CI smoke sweeps).
+	FailFast bool
 }
 
 // New returns a Runner with the given worker bound (<= 0 = GOMAXPROCS).
@@ -73,7 +83,7 @@ type PanicError struct {
 }
 
 func (e *PanicError) Error() string {
-	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
 // TaskError wraps a task's error with its index, so sweep failures name the
@@ -94,12 +104,16 @@ func (e *TaskError) Unwrap() error { return e.Err }
 type Timing struct {
 	Index int
 	Wall  time.Duration
+	// Skipped marks a task that never ran because FailFast cancelled the
+	// sweep after an earlier error.
+	Skipped bool
 }
 
 // result carries one completed task's outcome back to the collector.
 type taskOutcome struct {
-	err  error
-	wall time.Duration
+	err     error
+	wall    time.Duration
+	skipped bool
 }
 
 // runIndexed is the shared pool implementation: run task(i) for i in
@@ -112,16 +126,27 @@ func runIndexed(r *Runner, n int, exec func(i int) error) ([]Timing, error) {
 	}
 	outcomes := make([]taskOutcome, n)
 	workers := r.WorkerCount(n)
+	failFast := r != nil && r.FailFast
 	if workers == 1 {
 		// Serial fast path: no goroutines, identical semantics.
 		for i := 0; i < n; i++ {
 			start := time.Now()
 			err := protect(i, exec)
 			outcomes[i] = taskOutcome{err: err, wall: time.Since(start)}
+			if err != nil && failFast {
+				for j := i + 1; j < n; j++ {
+					outcomes[j].skipped = true
+				}
+				break
+			}
 		}
 		return finish(outcomes)
 	}
 
+	// ctx cancels dispatch on the first error under FailFast; workers never
+	// observe it (tasks are not context-aware), only the dispatcher does.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -132,10 +157,19 @@ func runIndexed(r *Runner, n int, exec func(i int) error) ([]Timing, error) {
 				start := time.Now()
 				err := protect(i, exec)
 				outcomes[i] = taskOutcome{err: err, wall: time.Since(start)}
+				if err != nil && failFast {
+					cancel()
+				}
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if failFast && ctx.Err() != nil {
+			for j := i; j < n; j++ {
+				outcomes[j].skipped = true
+			}
+			break
+		}
 		next <- i
 	}
 	close(next)
@@ -158,7 +192,7 @@ func finish(outcomes []taskOutcome) ([]Timing, error) {
 	timings := make([]Timing, len(outcomes))
 	var firstErr error
 	for i, o := range outcomes {
-		timings[i] = Timing{Index: i, Wall: o.wall}
+		timings[i] = Timing{Index: i, Wall: o.wall, Skipped: o.skipped}
 		if o.err != nil && firstErr == nil {
 			if _, isPanic := o.err.(*PanicError); isPanic {
 				firstErr = o.err

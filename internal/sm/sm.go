@@ -38,7 +38,14 @@ const (
 	Draining
 	// Switching SMs are mid context-switch and issue nothing.
 	Switching
+	// Failed SMs are permanently dead (hard fault): they issue nothing,
+	// accept no application, and never leave this state.
+	Failed
 )
+
+// NumStates is the number of SM occupancy states (diagnostic snapshots
+// index histograms by State).
+const NumStates = int(Failed) + 1
 
 func (s State) String() string {
 	switch s {
@@ -50,6 +57,8 @@ func (s State) String() string {
 		return "draining"
 	case Switching:
 		return "switching"
+	case Failed:
+		return "failed"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -198,8 +207,50 @@ func (s *SM) ResetStats() { s.stats = Stats{} }
 // has completed yet).
 func (s *SM) TBDurationEstimate() float64 { return s.tbDurationEMA }
 
-// Assign binds an application and fills all TB slots.
+// Fail permanently kills the SM (hard fault). Resident warps are lost:
+// their in-flight loads drain harmlessly into orphaned Warp objects, exactly
+// as on a context switch, but the SM never becomes assignable again. Any
+// pending drain/switch completion callback is cancelled — the controller
+// compensates its in-flight bookkeeping separately.
+func (s *SM) Fail(cycle uint64) {
+	s.state = Failed
+	s.app = nil
+	s.onFree = nil
+	s.warps = s.warps[:0]
+	s.retry = s.retry[:0]
+	s.unready = 0
+	s.current = 0
+	for i := range s.tbSlots {
+		s.tbSlots[i] = tbSlot{}
+	}
+}
+
+// OutstandingLoads sums resident warps' in-flight loads (diagnostics).
+func (s *SM) OutstandingLoads() int {
+	n := 0
+	for _, w := range s.warps {
+		n += w.Outstanding
+	}
+	return n
+}
+
+// BlockedWarps counts resident warps that cannot issue (diagnostics).
+func (s *SM) BlockedWarps() int {
+	n := 0
+	for _, w := range s.warps {
+		if w.blocked && !w.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Assign binds an application and fills all TB slots. Assigning a failed SM
+// is a programming error.
 func (s *SM) Assign(cycle uint64, app *App) {
+	if s.state == Failed {
+		panic(fmt.Sprintf("sm: assigning app %d to failed SM %d", app.ID, s.ID))
+	}
 	s.app = app
 	s.state = Active
 	s.warps = s.warps[:0]
@@ -310,7 +361,7 @@ func (s *SM) finishFree(cycle uint64) {
 // Tick advances the SM one cycle.
 func (s *SM) Tick(cycle uint64, port Port) {
 	switch s.state {
-	case Idle:
+	case Idle, Failed:
 		return
 	case Switching:
 		if cycle >= s.switchUntil {

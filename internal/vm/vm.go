@@ -21,6 +21,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"ugpu/internal/addr"
 	"ugpu/internal/config"
@@ -32,6 +33,7 @@ type Stats struct {
 	Migrations uint64 // page migrations committed
 	Allocated  uint64 // frames currently allocated
 	Freed      uint64 // frames recycled
+	Remaps     uint64 // slow-path remaps (emergency spill, no hardware copy)
 }
 
 // Space is one application's address space and driver-side bookkeeping.
@@ -78,6 +80,11 @@ type Manager struct {
 	frameTag   map[uint64]uint64
 	frameOwner map[uint64][2]uint64
 
+	// deadGroup marks channel groups lost to a hardware fault: no frame may
+	// be allocated there, and frames freed there are not recycled (the
+	// silicon is gone).
+	deadGroup []bool
+
 	stats Stats
 }
 
@@ -92,6 +99,7 @@ func NewManager(cfg config.Config, mapper *addr.CustomMapper, numApps int) *Mana
 		recycled:   make([][]uint64, cfg.ChannelGroups()),
 		frameTag:   make(map[uint64]uint64),
 		frameOwner: make(map[uint64][2]uint64),
+		deadGroup:  make([]bool, cfg.ChannelGroups()),
 	}
 	for i := range m.spaces {
 		sp := &Space{
@@ -158,17 +166,23 @@ func (m *Manager) InAllowedGroup(app int, pa uint64) bool {
 func (m *Manager) leastUsedGroup(sp *Space) int {
 	best, bestN := -1, int(^uint(0)>>1)
 	for _, g := range sp.groups {
+		if m.deadGroup[g] {
+			continue // defensive: faulted groups never receive new frames
+		}
 		if n := len(sp.byGroup[g]); n < bestN {
 			best, bestN = g, n
 		}
 	}
 	if best < 0 {
-		panic(fmt.Sprintf("vm: app %d has no channel groups", sp.id))
+		panic(fmt.Sprintf("vm: app %d has no live channel groups", sp.id))
 	}
 	return best
 }
 
 func (m *Manager) allocFrame(group int) uint64 {
+	if m.deadGroup[group] {
+		panic(fmt.Sprintf("vm: allocation from dead channel group %d", group))
+	}
 	if n := len(m.recycled[group]); n > 0 {
 		f := m.recycled[group][n-1]
 		m.recycled[group] = m.recycled[group][:n-1]
@@ -291,8 +305,10 @@ func (mig *Migration) Commit() {
 	m.frameOwner[mig.DstPA] = [2]uint64{uint64(mig.App), mig.VPN}
 	delete(m.frameTag, mig.SrcPA)
 	delete(m.frameOwner, mig.SrcPA)
-	_, frame := m.mapper.FrameOf(mig.SrcPA)
-	m.recycled[srcGroup] = append(m.recycled[srcGroup], frame)
+	if !m.deadGroup[srcGroup] {
+		_, frame := m.mapper.FrameOf(mig.SrcPA)
+		m.recycled[srcGroup] = append(m.recycled[srcGroup], frame)
+	}
 	m.stats.Migrations++
 	m.stats.Freed++
 	if sp.rebalancing && m.balanced(sp) {
@@ -305,9 +321,78 @@ func (mig *Migration) Abort() {
 	m := mig.m
 	sp := m.spaces[mig.App]
 	dstGroup := m.mapper.ChannelGroup(mig.DstPA)
-	_, frame := m.mapper.FrameOf(mig.DstPA)
-	m.recycled[dstGroup] = append(m.recycled[dstGroup], frame)
+	if !m.deadGroup[dstGroup] {
+		_, frame := m.mapper.FrameOf(mig.DstPA)
+		m.recycled[dstGroup] = append(m.recycled[dstGroup], frame)
+	}
 	delete(sp.migrating, mig.VPN)
+}
+
+// FailGroup marks a channel group as lost to a hardware fault. Frames on the
+// group stay mapped (their data is still being drained by emergency
+// migration) but no new frame is ever allocated there and freed frames are
+// not recycled.
+func (m *Manager) FailGroup(group int) {
+	m.deadGroup[group] = true
+	m.recycled[group] = nil
+}
+
+// GroupDead reports whether a channel group has been failed.
+func (m *Manager) GroupDead(group int) bool { return m.deadGroup[group] }
+
+// PagesOnGroup lists the app's resident pages on the given channel group in
+// ascending VPN order (deterministic), skipping pages already migrating.
+func (m *Manager) PagesOnGroup(app, group int) []uint64 {
+	sp := m.spaces[app]
+	out := make([]uint64, 0, len(sp.byGroup[group]))
+	for vpn := range sp.byGroup[group] {
+		if sp.migrating[vpn] {
+			continue
+		}
+		out = append(out, vpn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RemapPage synchronously rehomes (app, vpn) onto a frame in the least-used
+// live allowed group, preserving the content tag — the slow-path spill used
+// when an emergency hardware copy off a dying channel has exhausted its
+// retries (the driver re-reads the page through the degraded channel and
+// rewrites it; the simulator charges that cost at the call site). ok is
+// false if the page is unmapped or already on a live allowed group's frame
+// with nothing to do.
+func (m *Manager) RemapPage(app int, vpn uint64) (newPA uint64, ok bool) {
+	sp := m.spaces[app]
+	pa, mapped := sp.pageTable[vpn]
+	if !mapped {
+		return 0, false
+	}
+	srcGroup := m.mapper.ChannelGroup(pa)
+	dstGroup := m.leastUsedGroup(sp)
+	if dstGroup == srcGroup {
+		return pa, false
+	}
+	frame := m.allocFrame(dstGroup)
+	dstPA := m.mapper.FrameBase(dstGroup, frame)
+
+	sp.pageTable[vpn] = dstPA
+	delete(sp.byGroup[srcGroup], vpn)
+	sp.byGroup[dstGroup][vpn] = struct{}{}
+	delete(sp.migrating, vpn)
+	delete(sp.pendingAll, vpn)
+
+	m.frameTag[dstPA] = m.frameTag[pa] // driver copied the data
+	m.frameOwner[dstPA] = [2]uint64{uint64(app), vpn}
+	delete(m.frameTag, pa)
+	delete(m.frameOwner, pa)
+	if !m.deadGroup[srcGroup] {
+		_, srcFrame := m.mapper.FrameOf(pa)
+		m.recycled[srcGroup] = append(m.recycled[srcGroup], srcFrame)
+	}
+	m.stats.Remaps++
+	m.stats.Freed++
+	return dstPA, true
 }
 
 // MarkAllPending flags every resident page of the application for forced
@@ -490,6 +575,28 @@ func (m *Manager) CheckInvariants() error {
 		}
 		if total != len(sp.pageTable) {
 			return fmt.Errorf("vm: app %d group index holds %d pages, page table %d", app, total, len(sp.pageTable))
+		}
+	}
+	for g := range m.recycled {
+		if m.deadGroup[g] && len(m.recycled[g]) != 0 {
+			return fmt.Errorf("vm: dead group %d has %d recycled frames", g, len(m.recycled[g]))
+		}
+		if uint64(len(m.recycled[g])) > m.nextFrame[g] {
+			return fmt.Errorf("vm: group %d free list (%d) exceeds frames ever allocated (%d)", g, len(m.recycled[g]), m.nextFrame[g])
+		}
+		inList := make(map[uint64]bool, len(m.recycled[g]))
+		for _, f := range m.recycled[g] {
+			if f >= m.nextFrame[g] {
+				return fmt.Errorf("vm: group %d recycled frame %d beyond bump cursor %d", g, f, m.nextFrame[g])
+			}
+			if inList[f] {
+				return fmt.Errorf("vm: group %d frame %d recycled twice", g, f)
+			}
+			inList[f] = true
+			pa := m.mapper.FrameBase(g, f)
+			if owner, owned := m.frameOwner[pa]; owned {
+				return fmt.Errorf("vm: group %d frame %d on free list but owned by app%d/%#x", g, f, owner[0], owner[1])
+			}
 		}
 	}
 	return nil
