@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check fault-smoke experiments bench-json clean
+.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke experiments bench-json clean
 
 all: check
 
@@ -44,6 +44,20 @@ fault-smoke:
 	cmp faults-serial.txt faults-parallel.txt
 	cat faults-serial.txt
 	rm -f faults-serial.txt faults-parallel.txt
+
+## cover: per-package coverage summary (short mode keeps it fast)
+cover:
+	$(GO) test -short -cover ./...
+
+## serve-smoke: short online-serving sweep; serial and parallel runs of the
+## same arrival seed must produce byte-identical reports (CI smoke job)
+SERVE_SMOKE_FLAGS = -fig serve -cycles 40000 -epoch 10000 -serve-seed 9
+serve-smoke:
+	$(GO) run ./cmd/experiments $(SERVE_SMOKE_FLAGS) -parallel 1 > serve-serial.txt
+	$(GO) run ./cmd/experiments $(SERVE_SMOKE_FLAGS) -parallel 8 > serve-parallel.txt
+	cmp serve-serial.txt serve-parallel.txt
+	cat serve-serial.txt
+	rm -f serve-serial.txt serve-parallel.txt
 
 ## experiments: regenerate every figure at the recorded scale
 experiments:

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize|faults]
+//	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize|faults|serve]
 //	            [-cycles N] [-epoch N] [-mixes N] [-scale N] [-parallel N]
 //	            [-faults spec] [-fault-seed N] [-watchdog-timeout N]
+//	            [-arrival-rate R] [-qos-mix F] [-serve-seed N]
 //	            [-bench-json path] [-v]
 //
 // Every figure is a sweep of independent simulations fanned out through
@@ -55,6 +56,7 @@ func gensFor(opt experiments.Options) []gen {
 		{"micro", opt.MigrationMicro},
 		{"pagesize", opt.PageSizeSensitivity},
 		{"faults", opt.FaultSweep},
+		{"serve", opt.ServeSweep},
 	}
 }
 
@@ -79,6 +81,9 @@ func main() {
 		faults    = flag.String("faults", "", "custom fault spec for the faults figure (e.g. \"sm=2,group=1,mig=0.05\")")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 		watchdog  = flag.Int("watchdog-timeout", 0, "watchdog window in cycles (-1 disables; 0 keeps the config default)")
+		arrRate   = flag.Float64("arrival-rate", 0, "serve figure: single arrival rate in jobs per 100K cycles (0 = rising default set)")
+		qosMix    = flag.Float64("qos-mix", 0, "serve figure: latency-critical arrival fraction (0 = the 0.5 default)")
+		serveSeed = flag.Int64("serve-seed", 0, "serve figure: arrival-schedule seed (0 = seed 1)")
 		benchJSON = flag.String("bench-json", "", "write a serial-vs-parallel benchmark report to this path and exit")
 		verbose   = flag.Bool("v", false, "log per-run progress")
 	)
@@ -103,6 +108,9 @@ func main() {
 	opt.Parallel = *parallelN
 	opt.FaultSpec = *faults
 	opt.FaultSeed = *faultSeed
+	opt.ArrivalRate = *arrRate
+	opt.QoSMix = *qosMix
+	opt.ServeSeed = *serveSeed
 	switch {
 	case *watchdog > 0:
 		opt.Cfg.WatchdogCycles = *watchdog

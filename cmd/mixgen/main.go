@@ -15,6 +15,40 @@ import (
 	"ugpu"
 )
 
+// mixesFor resolves one mix family. An unknown kind is an error, so main
+// can print usage and exit non-zero.
+func mixesFor(kind string, n int, seed int64) ([]ugpu.Mix, error) {
+	switch kind {
+	case "hetero":
+		return ugpu.HeterogeneousMixes(n), nil
+	case "homo":
+		return ugpu.HomogeneousMixes(n), nil
+	case "all":
+		mixes := ugpu.AllMixes()
+		if n > 0 && n < len(mixes) {
+			mixes = mixes[:n]
+		}
+		return mixes, nil
+	case "4":
+		if n <= 0 {
+			n = 20
+		}
+		return ugpu.FourProgramMixes(n, seed), nil
+	case "8":
+		if n <= 0 {
+			n = 200
+		}
+		return ugpu.EightProgramMixes(n, seed), nil
+	case "ai":
+		mixes := ugpu.AIMixes()
+		if n > 0 && n < len(mixes) {
+			mixes = mixes[:n]
+		}
+		return mixes, nil
+	}
+	return nil, fmt.Errorf("unknown kind %q (want hetero, homo, all, 4, 8, or ai)", kind)
+}
+
 func main() {
 	var (
 		kind = flag.String("kind", "all", "mix family: hetero, homo, all, 4, 8, ai")
@@ -23,36 +57,10 @@ func main() {
 	)
 	flag.Parse()
 
-	var mixes []ugpu.Mix
-	switch *kind {
-	case "hetero":
-		mixes = ugpu.HeterogeneousMixes(*n)
-	case "homo":
-		mixes = ugpu.HomogeneousMixes(*n)
-	case "all":
-		mixes = ugpu.AllMixes()
-		if *n > 0 && *n < len(mixes) {
-			mixes = mixes[:*n]
-		}
-	case "4":
-		c := *n
-		if c <= 0 {
-			c = 20
-		}
-		mixes = ugpu.FourProgramMixes(c, *seed)
-	case "8":
-		c := *n
-		if c <= 0 {
-			c = 200
-		}
-		mixes = ugpu.EightProgramMixes(c, *seed)
-	case "ai":
-		mixes = ugpu.AIMixes()
-		if *n > 0 && *n < len(mixes) {
-			mixes = mixes[:*n]
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "mixgen: unknown kind %q\n", *kind)
+	mixes, err := mixesFor(*kind, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mixgen: %v\n", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 

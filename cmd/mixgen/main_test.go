@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMixesForKnownKinds(t *testing.T) {
+	// The randomized families have fixed default counts; the table-driven
+	// families just need to be non-empty (their sizes track Table 2).
+	for kind, want := range map[string]int{"4": 20, "8": 200} {
+		mixes, err := mixesFor(kind, 0, 11)
+		if err != nil {
+			t.Errorf("mixesFor(%q): %v", kind, err)
+			continue
+		}
+		if len(mixes) != want {
+			t.Errorf("mixesFor(%q) = %d mixes, want %d", kind, len(mixes), want)
+		}
+	}
+	for _, kind := range []string{"hetero", "homo", "all"} {
+		mixes, err := mixesFor(kind, 0, 11)
+		if err != nil || len(mixes) == 0 {
+			t.Errorf("mixesFor(%q) = %d mixes, %v", kind, len(mixes), err)
+		}
+	}
+	if mixes, err := mixesFor("ai", 0, 0); err != nil || len(mixes) == 0 {
+		t.Errorf("mixesFor(ai) = %d mixes, %v", len(mixes), err)
+	}
+}
+
+func TestMixesForLimit(t *testing.T) {
+	mixes, err := mixesFor("all", 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixes) != 7 {
+		t.Fatalf("limit 7 returned %d mixes", len(mixes))
+	}
+}
+
+func TestMixesForUnknownKind(t *testing.T) {
+	if _, err := mixesFor("bogus", 0, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error %q does not name the bad kind", err)
+	}
+}

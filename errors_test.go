@@ -27,8 +27,8 @@ func TestJobsOfUnknownAbbr(t *testing.T) {
 func TestNewClusterRejectsBadShapes(t *testing.T) {
 	cfg := ugpu.DefaultConfig()
 	cases := []struct {
-		name       string
-		gpus, per  int
+		name      string
+		gpus, per int
 	}{
 		{"zero GPUs", 0, 2},
 		{"negative GPUs", -1, 2},

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"reflect"
 	"testing"
 
 	"ugpu/internal/config"
@@ -136,5 +137,54 @@ func TestClassAwareUGPUBeatsObliviousBP(t *testing.T) {
 	if best.ClusterSTP <= base.ClusterSTP {
 		t.Errorf("class-aware UGPU cluster STP %.3f not above oblivious BP %.3f",
 			best.ClusterSTP, base.ClusterSTP)
+	}
+}
+
+func TestClassAwarePlacementDeterministic(t *testing.T) {
+	// Satellite check for the online layer's determinism contract: placement
+	// must be a pure function of the job list. sort.SliceStable keeps
+	// equal-class jobs in arrival order, so repeated placements of the same
+	// list are byte-identical and same-class relative order is preserved.
+	c, _ := New(testCfg(), 3, 2)
+	js := jobs(t, "DXTC", "PVC", "CP", "LBM", "BH", "SC")
+	first, err := c.Place(js, PlaceClassAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := c.Place(js, PlaceClassAware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("placement %d diverged:\n%v\nvs\n%v", i, first, again)
+		}
+	}
+	// Stable tie-break: memory-bound jobs keep arrival order among
+	// themselves, as do compute-bound jobs.
+	var mem, cmp []string
+	for i := 0; i < c.TenantsPerGPU; i++ {
+		for gi := 0; gi < c.GPUs; gi++ {
+			if i < len(first[gi]) {
+				b := first[gi][i]
+				if b.Class == workload.MemoryBound {
+					mem = append(mem, b.Abbr)
+				} else {
+					cmp = append(cmp, b.Abbr)
+				}
+			}
+		}
+	}
+	wantMem := []string{"PVC", "LBM", "SC"}
+	wantCmp := []string{"DXTC", "CP", "BH"}
+	if !reflect.DeepEqual(mem, wantMem) {
+		t.Errorf("memory-bound order %v, want %v (stable tie-break broken)", mem, wantMem)
+	}
+	if !reflect.DeepEqual(cmp, wantCmp) {
+		t.Errorf("compute-bound order %v, want %v (stable tie-break broken)", cmp, wantCmp)
+	}
+	// Placement must not mutate its input.
+	if js[0].Abbr != "DXTC" || js[1].Abbr != "PVC" {
+		t.Error("Place mutated the caller's job list")
 	}
 }

@@ -42,6 +42,15 @@ type Options struct {
 	FaultSpec string
 	// FaultSeed seeds the fault injector (0 = the config seed).
 	FaultSeed int64
+
+	// ServeSeed seeds the serve sweep's arrival schedules (0 = seed 1).
+	ServeSeed int64
+	// ArrivalRate, when > 0, replaces the serve sweep's default rising
+	// rates with a single rate (jobs per 100K cycles).
+	ArrivalRate float64
+	// QoSMix is the serve sweep's latency-critical arrival fraction
+	// (0 = the 0.5 default).
+	QoSMix float64
 }
 
 // runner returns the sweep fan-out pool.

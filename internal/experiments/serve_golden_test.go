@@ -1,0 +1,117 @@
+package experiments
+
+// Golden determinism for the online serving sweep: the (policy, rate) cells
+// are independent serve runs fanned out over the worker pool, so the
+// rendered figure and the buffered progress log must be byte-identical for
+// any worker count and across reruns — with and without fault injection.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderServeSweep runs the ServeSweep figure at reduced scale and returns
+// its formatted output plus the progress log.
+func renderServeSweep(t *testing.T, workers int, faults string) (string, string) {
+	t.Helper()
+	o := tiny()
+	o.Cfg.MaxCycles = 40_000 // ServeSweep doubles this internally
+	o.Parallel = workers
+	o.ServeSeed = 9
+	o.FaultSpec = faults
+	o.FaultSeed = 7
+	var log bytes.Buffer
+	o.Log = &log
+	f, err := o.ServeSweep()
+	if err != nil {
+		t.Fatalf("ServeSweep(workers=%d, faults=%q): %v", workers, faults, err)
+	}
+	var out bytes.Buffer
+	f.Format(&out)
+	return out.String(), log.String()
+}
+
+func TestGoldenServeSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	serial, serialLog := renderServeSweep(t, 1, "")
+	if len(serial) == 0 {
+		t.Fatal("ServeSweep rendered nothing")
+	}
+	// Every policy appears in the rendered table.
+	for _, name := range []string{"in-order", "class-aware", "load-aware"} {
+		if !strings.Contains(serial, name) {
+			t.Errorf("rendered sweep missing policy %q:\n%s", name, serial)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		par, parLog := renderServeSweep(t, workers, "")
+		if par != serial {
+			t.Errorf("workers=%d: serve sweep not byte-identical to serial\nserial:\n%s\nparallel:\n%s",
+				workers, serial, par)
+		}
+		if parLog != serialLog {
+			t.Errorf("workers=%d: progress log not byte-identical to serial", workers)
+		}
+	}
+	// Byte-identical across reruns with the same seed.
+	again, _ := renderServeSweep(t, 4, "")
+	if again != serial {
+		t.Errorf("rerun with identical serve seed differs:\nfirst:\n%s\nrerun:\n%s", serial, again)
+	}
+}
+
+func TestGoldenServeSweepDeterministicUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	const spec = "sm=2,group=1"
+	serial, _ := renderServeSweep(t, 1, spec)
+	if !strings.Contains(serial, "degraded machine") {
+		t.Errorf("faulted sweep did not note the fault spec:\n%s", serial)
+	}
+	par, _ := renderServeSweep(t, 8, spec)
+	if par != serial {
+		t.Errorf("faulted serve sweep not byte-identical to serial\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+	healthy, _ := renderServeSweep(t, 1, "")
+	if healthy == serial {
+		t.Error("faulted and healthy sweeps rendered identically; faults had no effect")
+	}
+}
+
+func TestServeSweepRejectsBadFaultSpec(t *testing.T) {
+	o := tiny()
+	o.FaultSpec = "sm=banana"
+	if _, err := o.ServeSweep(); err == nil {
+		t.Fatal("ServeSweep accepted a malformed fault spec")
+	}
+}
+
+func TestServeSweepCustomRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	o := tiny()
+	o.Cfg.MaxCycles = 30_000
+	o.ArrivalRate = 10
+	o.QoSMix = 0.7
+	f, err := o.ServeSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) == 0 || len(f.Series[0].Labels) != 1 || f.Series[0].Labels[0] != "r=10" {
+		t.Fatalf("custom rate produced labels %v, want [r=10]", f.Series[0].Labels)
+	}
+	found := false
+	for _, n := range f.Notes {
+		if strings.Contains(n, "LC fraction 0.70") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("custom QoS mix not recorded in notes: %v", f.Notes)
+	}
+}

@@ -68,19 +68,19 @@ func (k Kind) String() string {
 
 // Event is one scheduled discrete fault.
 type Event struct {
-	Cycle uint64 // simulation cycle at which the fault strikes
-	Kind  Kind
-	Unit  int    // SM id, channel-group id, or global channel id (BankFault)
-	Aux   int    // BankFault: bank index within the channel; otherwise 0
+	Cycle    uint64 // simulation cycle at which the fault strikes
+	Kind     Kind
+	Unit     int    // SM id, channel-group id, or global channel id (BankFault)
+	Aux      int    // BankFault: bank index within the channel; otherwise 0
 	Duration uint64 // BankFault: unavailability window in cycles; otherwise 0
 }
 
 // Spec describes how many faults of each kind to inject over a run.
 // The zero Spec injects nothing.
 type Spec struct {
-	SMs    int     // permanent SM hard-fails
-	Groups int     // permanent channel-group fails
-	Banks  int     // transient DRAM bank faults
+	SMs     int     // permanent SM hard-fails
+	Groups  int     // permanent channel-group fails
+	Banks   int     // transient DRAM bank faults
 	NoCDrop float64 // per-message drop probability in [0,1)
 	MigNACK float64 // per-migration-line NACK probability in [0,1)
 }
@@ -216,8 +216,8 @@ type Injector struct {
 	plan []Event // sorted by (Cycle, Kind, Unit, Aux); consumed front to back
 	next int     // index of the next undelivered planned event
 
-	dropP  float64
-	nackP  float64
+	dropP   float64
+	nackP   float64
 	dropRng splitmix64
 	nackRng splitmix64
 
@@ -270,8 +270,8 @@ func NewInjector(seed int64, spec Spec, geo Geometry) *Injector {
 		if horizon < 100 {
 			horizon = 100
 		}
-		lo := horizon / 5       // 20%
-		hi := horizon * 4 / 5   // 80%
+		lo := horizon / 5     // 20%
+		hi := horizon * 4 / 5 // 80%
 		span := hi - lo
 		step := span / uint64(total+1)
 		if step == 0 {

@@ -55,7 +55,7 @@ func (g *GPU) failSM(cycle uint64, id int) {
 		dest.inbound--
 		g.reconfigSMs--
 		delete(g.pendingMoveTo, id)
-		if len(dest.SMs) == 0 && dest.inbound == 0 {
+		if len(dest.SMs) == 0 && dest.inbound == 0 && dest.state == appActive {
 			starved = dest
 		}
 	} else {
@@ -65,7 +65,7 @@ func (g *GPU) failSM(cycle uint64, id int) {
 					continue
 				}
 				app.SMs = append(app.SMs[:i], app.SMs[i+1:]...)
-				if len(app.SMs) == 0 && app.inbound == 0 {
+				if len(app.SMs) == 0 && app.inbound == 0 && app.state == appActive {
 					starved = app
 				}
 				break
@@ -89,7 +89,7 @@ func (g *GPU) failSM(cycle uint64, id int) {
 func (g *GPU) grantSM(cycle uint64, to *App) {
 	donor := -1
 	for i, app := range g.apps {
-		if app == to || len(app.SMs) < 2 {
+		if app == to || app.state != appActive || len(app.SMs) < 2 {
 			continue
 		}
 		if donor < 0 || len(app.SMs) > len(g.apps[donor].SMs) {
@@ -117,7 +117,15 @@ func (g *GPU) failGroup(cycle uint64, grp int) {
 			alive++
 		}
 	}
-	if alive < len(g.apps) {
+	// Every non-vacant app (active or still draining pages) needs at least one
+	// live group; vacant slots own nothing.
+	needGroups := 0
+	for _, app := range g.apps {
+		if app.state != appVacant {
+			needGroups++
+		}
+	}
+	if alive < needGroups {
 		// Refuse: every app needs at least one live group. The fault is
 		// dropped rather than wedging the machine.
 		return
@@ -177,7 +185,7 @@ func (g *GPU) failGroup(cycle uint64, grp int) {
 func (g *GPU) grantGroup(cycle uint64, to *App) (int, bool) {
 	donor := -1
 	for i, app := range g.apps {
-		if app == to || len(app.Groups) < 2 {
+		if app == to || app.state != appActive || len(app.Groups) < 2 {
 			continue
 		}
 		if donor < 0 || len(app.Groups) > len(g.apps[donor].Groups) {

@@ -75,6 +75,22 @@ type AppSpec struct {
 	Groups []int // initial channel groups
 }
 
+// appState tracks an application slot's lifecycle for the online serving
+// layer (attach.go). Closed-world runs keep every app appActive forever.
+type appState uint8
+
+const (
+	// appActive: normal execution.
+	appActive appState = iota
+	// appDetaching: BeginDetach ran — SMs released, dispatch stopped, but
+	// pages and groups are retained until in-flight work quiesces.
+	appDetaching
+	// appVacant: FinishDetach ran — the slot owns nothing and can be reused
+	// by AttachApp. The App object stays in place so stale in-flight
+	// references (none, post-quiescence) never nil-deref.
+	appVacant
+)
+
 // App is the runtime state of one application.
 type App struct {
 	ID    int
@@ -85,6 +101,8 @@ type App struct {
 	SMs     []int // owned SM ids (draining SMs stay with the old owner)
 	inbound int   // SMs in flight toward this app (drain/switch pending)
 	Groups  []int
+
+	state appState
 
 	// Cumulative counters.
 	TotalInstr uint64
@@ -97,6 +115,12 @@ type App struct {
 	llcAcc uint64
 	llcHit uint64
 }
+
+// Detaching reports whether the slot is draining toward vacancy.
+func (a *App) Detaching() bool { return a.state == appDetaching }
+
+// Vacant reports whether the slot is empty and reusable.
+func (a *App) Vacant() bool { return a.state == appVacant }
 
 // memReq is one in-flight L1 miss travelling through NoC, LLC, and DRAM.
 // Requests are pooled: l1Fill releases each one back to the GPU's freelist
@@ -185,6 +209,11 @@ type GPU struct {
 	// Merged in-flight translations: key -> accesses awaiting the result.
 	transPending map[uint64][]migWaiter
 	replayQ      [][]replayReq // per SM: accesses parked on a full L1 MSHR
+
+	// memInFlight counts per-app memReqs between sendToLLC and l1Fill; the
+	// detach quiescence check (attach.go) requires it to reach zero before a
+	// departing tenant's pages are freed.
+	memInFlight [MaxApps]int
 
 	// Object pools and persistent callbacks for the allocation-free memory
 	// path: memReqs and dram.Requests are recycled, and the NoC/DRAM
@@ -302,8 +331,8 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(specs) == 0 || len(specs) > MaxApps {
-		return nil, fmt.Errorf("gpu: %d applications, want 1..%d", len(specs), MaxApps)
+	if len(specs) > MaxApps {
+		return nil, fmt.Errorf("gpu: %d applications, want 0..%d", len(specs), MaxApps)
 	}
 	if opt.FootprintScale <= 0 {
 		opt.FootprintScale = 16
@@ -324,29 +353,29 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 
 	mapper := addr.NewCustomMapper(cfg)
 	g := &GPU{
-		cfg:          cfg,
-		opt:          opt,
-		mapper:       mapper,
-		sms:          make([]*sm.SM, cfg.NumSMs),
-		smL1:         make([]*cache.Cache, cfg.NumSMs),
-		smMSHR:       make([]*cache.MSHR, cfg.NumSMs),
-		smL1TLB:      make([]*tlb.TLB, cfg.NumSMs),
-		smBase:       make([]uint64, cfg.NumSMs),
-		l2tlb:        tlb.New(cfg.L2TLBEntries/cfg.L2TLBWays, cfg.L2TLBWays),
-		walker:       tlb.NewWalker(cfg.PTWThreads, cfg.PTWLevels, cfg.PTWStepLatency),
-		reqNet:       noc.New(cfg.NumSMs, cfg.LLCSlices, cfg.NoCLinkBytes, cfg.NoCLatency),
-		rspNet:       noc.New(cfg.LLCSlices, cfg.NumSMs, cfg.NoCLinkBytes, cfg.NoCLatency),
-		slices:       make([]*llcSlice, cfg.LLCSlices),
-		hbm:          dram.New(cfg, MaxApps),
-		vmm:          vm.NewManager(cfg, mapper, len(specs)),
-		transPending: make(map[uint64][]migWaiter),
-		replayQ:      make([][]replayReq, cfg.NumSMs),
-		migInFlight:  make(map[uint64]bool),
-		failedSMs:    make([]bool, cfg.NumSMs),
-		deadGroups:   make([]bool, cfg.ChannelGroups()),
+		cfg:           cfg,
+		opt:           opt,
+		mapper:        mapper,
+		sms:           make([]*sm.SM, cfg.NumSMs),
+		smL1:          make([]*cache.Cache, cfg.NumSMs),
+		smMSHR:        make([]*cache.MSHR, cfg.NumSMs),
+		smL1TLB:       make([]*tlb.TLB, cfg.NumSMs),
+		smBase:        make([]uint64, cfg.NumSMs),
+		l2tlb:         tlb.New(cfg.L2TLBEntries/cfg.L2TLBWays, cfg.L2TLBWays),
+		walker:        tlb.NewWalker(cfg.PTWThreads, cfg.PTWLevels, cfg.PTWStepLatency),
+		reqNet:        noc.New(cfg.NumSMs, cfg.LLCSlices, cfg.NoCLinkBytes, cfg.NoCLatency),
+		rspNet:        noc.New(cfg.LLCSlices, cfg.NumSMs, cfg.NoCLinkBytes, cfg.NoCLatency),
+		slices:        make([]*llcSlice, cfg.LLCSlices),
+		hbm:           dram.New(cfg, MaxApps),
+		vmm:           vm.NewManager(cfg, mapper, len(specs)),
+		transPending:  make(map[uint64][]migWaiter),
+		replayQ:       make([][]replayReq, cfg.NumSMs),
+		migInFlight:   make(map[uint64]bool),
+		failedSMs:     make([]bool, cfg.NumSMs),
+		deadGroups:    make([]bool, cfg.ChannelGroups()),
 		pendingMoveTo: make(map[int]*App),
-		pageShift:    log2of(cfg.PageBytes),
-		lineShift:    log2of(cfg.L1LineBytes),
+		pageShift:     log2of(cfg.PageBytes),
+		lineShift:     log2of(cfg.L1LineBytes),
 	}
 	g.wheel.g = g
 	if !opt.Faults.Empty() {
@@ -543,6 +572,9 @@ func (g *GPU) DebugTranslation() (l2 tlb.Stats, walks uint64, ptwPending int) {
 
 // Inbound reports SMs still in flight toward this app (drain/switch).
 func (a *App) Inbound() int { return a.inbound }
+
+// MemInFlight reports the app's memReqs between sendToLLC and l1Fill.
+func (g *GPU) MemInFlight(app int) int { return g.memInFlight[app] }
 
 // SMActiveCycles sums active cycles over all SMs (energy accounting).
 func (g *GPU) SMActiveCycles() uint64 {

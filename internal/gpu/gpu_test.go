@@ -52,7 +52,6 @@ func TestNewValidation(t *testing.T) {
 		name  string
 		specs []AppSpec
 	}{
-		{"no apps", nil},
 		{"zero SMs", []AppSpec{{Bench: pvc, SMs: 0, Groups: []int{0}}}},
 		{"no groups", []AppSpec{{Bench: pvc, SMs: 4}}},
 		{"too many SMs", []AppSpec{{Bench: pvc, SMs: 81, Groups: []int{0}}}},
@@ -61,6 +60,11 @@ func TestNewValidation(t *testing.T) {
 		if _, err := New(cfg, c.specs, testOptions()); err == nil {
 			t.Errorf("%s: New accepted invalid spec", c.name)
 		}
+	}
+	// An empty GPU is valid: the online serving layer starts with zero
+	// tenants and attaches them as they arrive.
+	if _, err := New(cfg, nil, testOptions()); err != nil {
+		t.Errorf("New rejected empty tenant list: %v", err)
 	}
 }
 

@@ -148,6 +148,7 @@ func (g *GPU) sliceOf(pa uint64) int {
 func (g *GPU) sendToLLC(cycle uint64, smID, appID int, pa, vpn uint64) {
 	slice := g.sliceOf(pa)
 	req := g.newMemReq(appID, smID, slice, pa, vpn)
+	g.memInFlight[appID]++
 	g.reqNet.SendTagged(cycle, smID, slice, 32, g.onLLCArrive, req)
 }
 
@@ -249,6 +250,7 @@ func (g *GPU) l1Fill(at uint64, req *memReq) {
 	mshr.Recycle(ws)
 	g.drainReplays(at, req.sm)
 	// The request's life ends here on both the hit and miss paths; recycle it.
+	g.memInFlight[req.app]--
 	g.freeReqs = append(g.freeReqs, req)
 }
 
@@ -320,6 +322,12 @@ func (g *GPU) retrySlices(cycle uint64) {
 // (Section 4.4).
 func (g *GPU) l2Translate(at uint64, appID int, vpn uint64) {
 	key := tlb.Key(appID, vpn)
+	if g.apps[appID].state == appVacant {
+		// Belt and braces: a vacant slot owns no pages, so a stale translation
+		// event must be dropped rather than allocating into an empty space.
+		delete(g.transPending, key)
+		return
+	}
 	if pa, ok := g.l2tlb.Lookup(key); ok {
 		if !g.opt.DisableMigration && g.vmm.NeedsMigration(appID, vpn, pa) {
 			// Channel-allocation register mismatch: invalidate and fault
@@ -340,6 +348,10 @@ func (g *GPU) l2Translate(at uint64, appID int, vpn uint64) {
 // walkDone is the page-table-walk completion path, reached via the shared
 // onWalkDone callback so enqueuing a walk does not allocate.
 func (g *GPU) walkDone(done uint64, appID int, vpn uint64) {
+	if g.apps[appID].state == appVacant {
+		delete(g.transPending, tlb.Key(appID, vpn))
+		return
+	}
 	pa, ok := g.vmm.Translate(appID, vpn)
 	if !ok {
 		// Demand fault (should not happen with eager allocation, but
@@ -452,6 +464,7 @@ func (g *GPU) startQueuedMigrations(at uint64) {
 				mig.Commit()
 				g.migActive--
 				g.completeMigration(done, appID, vpn)
+				g.evacuateIfDead(done, appID, vpn)
 				g.startQueuedMigrations(done)
 			},
 			func(done uint64) {
@@ -478,6 +491,27 @@ func (g *GPU) startQueuedMigrations(at uint64) {
 			panic(fmt.Sprintf("gpu: migration start failed: %v", err))
 		}
 	}
+}
+
+// evacuateIfDead queues an emergency evacuation for a page that has just
+// landed on a dead channel group. A group can die while a migration into it
+// is still in flight — DegradeChannel lets pending copies drain and commit —
+// so the freshly committed page must immediately move again, with exactly
+// the bookkeeping failGroup uses for pages resident at failure time.
+// Without this, the page would sit on the dead group with no pending
+// migration, which the watchdog's page-on-dead-group invariant rejects.
+func (g *GPU) evacuateIfDead(at uint64, appID int, vpn uint64) {
+	pa, ok := g.vmm.Translate(appID, vpn)
+	if !ok || !g.deadGroups[g.mapper.ChannelGroup(pa)] {
+		return
+	}
+	k := migKey(appID, vpn)
+	if g.migInFlight[k] {
+		return
+	}
+	g.migInFlight[k] = true
+	g.faultStats.EmergencyMigrations++
+	g.migQueue = append(g.migQueue, migJobReq{app: appID, vpn: vpn})
 }
 
 // spillRemap is the last-resort path for a page whose hardware copies keep
@@ -525,6 +559,9 @@ func (g *GPU) scrub(cycle uint64) {
 	for _, app := range g.apps {
 		if budget <= 0 {
 			return
+		}
+		if app.state != appActive {
+			continue // no new background migrations for draining/vacant slots
 		}
 		vpns := g.vmm.PagesToMigrate(app.ID, budget)
 		if len(vpns) < budget {

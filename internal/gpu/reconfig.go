@@ -43,6 +43,12 @@ func (g *GPU) MoveSMs(cycle uint64, fromID, toID, n int) error {
 			g.reconfigSMs--
 			to.inbound--
 			delete(g.pendingMoveTo, freed.ID)
+			if to.state != appActive {
+				// Destination departed while the SM was in flight (online
+				// serving): leave the SM idle in the free pool instead of
+				// resurrecting the tenant.
+				return
+			}
 			to.SMs = append(to.SMs, freed.ID)
 			freed.Assign(c, to.smApp)
 		}

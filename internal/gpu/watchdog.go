@@ -204,14 +204,15 @@ func (g *GPU) CheckInvariants() error {
 		return &InvariantError{"sm-conservation", fmt.Sprintf("%d pending moves tracked, %d SMs reconfiguring", len(g.pendingMoveTo), g.reconfigSMs)}
 	}
 
-	// 2. No app may hold a dead channel group.
+	// 2. No app may hold a dead channel group; every non-vacant app must
+	// hold at least one group (vacant slots hold none by design).
 	for _, app := range g.apps {
 		for _, gr := range app.Groups {
 			if g.deadGroups[gr] {
 				return &InvariantError{"dead-group-ownership", fmt.Sprintf("app %d still owns dead group %d", app.ID, gr)}
 			}
 		}
-		if len(app.Groups) == 0 {
+		if len(app.Groups) == 0 && app.state != appVacant {
 			return &InvariantError{"dead-group-ownership", fmt.Sprintf("app %d owns no channel groups", app.ID)}
 		}
 	}
@@ -240,6 +241,27 @@ func (g *GPU) CheckInvariants() error {
 	// 5. Event-wheel accounting and deadline monotonicity.
 	if msg := g.wheel.audit(g.cycle); msg != "" {
 		return &InvariantError{"event-wheel", msg}
+	}
+
+	// 6. Vacant slots own nothing: a departed tenant must leak no SMs,
+	// in-flight SM moves, channel groups, pages, or memory requests.
+	for _, app := range g.apps {
+		if app.state != appVacant {
+			continue
+		}
+		switch {
+		case len(app.SMs) != 0:
+			return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d still owns %d SMs", app.ID, len(app.SMs))}
+		case app.inbound != 0:
+			return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d has %d inbound SMs", app.ID, app.inbound)}
+		case len(app.Groups) != 0:
+			return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d still owns %d channel groups", app.ID, len(app.Groups))}
+		case g.memInFlight[app.ID] != 0:
+			return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d has %d memory requests in flight", app.ID, g.memInFlight[app.ID])}
+		}
+		if n := g.vmm.PageCount(app.ID); n != 0 {
+			return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d still holds %d pages", app.ID, n)}
+		}
 	}
 	return nil
 }

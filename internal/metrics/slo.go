@@ -1,0 +1,154 @@
+package metrics
+
+// SLO accounting for the online serving layer (ISSUE 3): per-job slowdown
+// against the alone-run reference, latency percentiles, goodput, and
+// rejection/preemption rates. The serving layer records one JobOutcome per
+// arrival; BuildSLOReport folds them into the figures the `-fig serve`
+// sweep prints.
+
+import (
+	"sort"
+
+	"ugpu/internal/workload"
+)
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of values using
+// linear interpolation between closest ranks. The input is not modified; an
+// empty input yields 0. A single sample is every percentile of itself.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Slowdown is a completed job's end-to-end stretch: time in system (arrival
+// to finish, including queueing) over its alone-run length. 1.0 means the
+// job ran as if it had the GPU to itself the moment it arrived. Non-positive
+// alone lengths yield 0 (no meaningful reference).
+func Slowdown(arrival, finish, aloneCycles int) float64 {
+	if aloneCycles <= 0 || finish < arrival {
+		return 0
+	}
+	return float64(finish-arrival) / float64(aloneCycles)
+}
+
+// JobOutcome is one arrival's fate, recorded by the serving layer.
+type JobOutcome struct {
+	Class       workload.QoS
+	Arrival     int
+	Start       int // first admission cycle; -1 if never admitted
+	Finish      int // completion cycle; -1 if not completed
+	AloneCycles int
+	Rejected    bool
+	Preemptions int
+}
+
+// Completed reports whether the job finished its work.
+func (j JobOutcome) Completed() bool { return j.Finish >= 0 }
+
+// SLOSpec sets the per-class slowdown targets: a completed job meets its SLO
+// when its slowdown is at most the class threshold.
+type SLOSpec struct {
+	LCSlowdown float64 // latency-critical target (tight)
+	BESlowdown float64 // best-effort target (loose)
+}
+
+// DefaultSLO returns the serving evaluation's targets. With up to four
+// resident tenants a fair share is a quarter of the machine, so even a
+// perfectly served job runs near 4x its alone time; the LC target allows
+// that plus modest queueing, the BE target is deliberately loose.
+func DefaultSLO() SLOSpec { return SLOSpec{LCSlowdown: 6, BESlowdown: 16} }
+
+// Met reports whether a completed job's slowdown meets its class target.
+func (s SLOSpec) Met(class workload.QoS, slowdown float64) bool {
+	if class == workload.LatencyCritical {
+		return slowdown <= s.LCSlowdown
+	}
+	return slowdown <= s.BESlowdown
+}
+
+// SLOReport summarises a serve run.
+type SLOReport struct {
+	Jobs        int // arrivals observed
+	Completed   int
+	Rejected    int
+	SLOMet      int // completed jobs within their class target
+	Preemptions int // total preemption events
+
+	P50, P95, P99  float64 // slowdown percentiles over completed jobs
+	MeanSlowdown   float64
+	MeanQueueDelay float64 // cycles from arrival to first admission (admitted jobs)
+
+	RejectRate float64 // rejected / arrivals
+	// Goodput is SLO-met completed alone-cycles delivered per horizon cycle:
+	// the fraction of the window spent producing work that met its target
+	// (can exceed 1 when tenants run concurrently).
+	Goodput float64
+}
+
+// BuildSLOReport folds job outcomes into a report. horizon is the cycle
+// window goodput normalises against; non-positive horizons yield 0 goodput.
+func BuildSLOReport(jobs []JobOutcome, spec SLOSpec, horizon int) SLOReport {
+	var r SLOReport
+	r.Jobs = len(jobs)
+	var slowdowns []float64
+	var queueSum float64
+	admitted := 0
+	goodCycles := 0
+	for _, j := range jobs {
+		r.Preemptions += j.Preemptions
+		if j.Rejected {
+			r.Rejected++
+			continue
+		}
+		if j.Start >= 0 {
+			admitted++
+			queueSum += float64(j.Start - j.Arrival)
+		}
+		if !j.Completed() {
+			continue
+		}
+		r.Completed++
+		sd := Slowdown(j.Arrival, j.Finish, j.AloneCycles)
+		slowdowns = append(slowdowns, sd)
+		if spec.Met(j.Class, sd) {
+			r.SLOMet++
+			goodCycles += j.AloneCycles
+		}
+	}
+	if len(slowdowns) > 0 {
+		sum := 0.0
+		for _, s := range slowdowns {
+			sum += s
+		}
+		r.MeanSlowdown = sum / float64(len(slowdowns))
+		r.P50 = Percentile(slowdowns, 50)
+		r.P95 = Percentile(slowdowns, 95)
+		r.P99 = Percentile(slowdowns, 99)
+	}
+	if admitted > 0 {
+		r.MeanQueueDelay = queueSum / float64(admitted)
+	}
+	if r.Jobs > 0 {
+		r.RejectRate = float64(r.Rejected) / float64(r.Jobs)
+	}
+	if horizon > 0 {
+		r.Goodput = float64(goodCycles) / float64(horizon)
+	}
+	return r
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ugpu/internal/workload"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPercentile(t *testing.T) {
+	odd := []float64{3, 1, 2} // unsorted on purpose: Percentile sorts a copy
+	even := []float64{4, 1, 3, 2}
+	cases := []struct {
+		name string
+		in   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"single is every percentile/p0", []float64{7}, 0, 7},
+		{"single is every percentile/p50", []float64{7}, 50, 7},
+		{"single is every percentile/p100", []float64{7}, 100, 7},
+		{"odd median", odd, 50, 2},
+		{"odd p0", odd, 0, 1},
+		{"odd p100", odd, 100, 3},
+		{"even median interpolates", even, 50, 2.5},
+		{"even p25", even, 25, 1.75},
+		{"clamp below", even, -10, 1},
+		{"clamp above", even, 110, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.in, c.p); !approx(got, c.want) {
+			t.Errorf("%s: Percentile(%v, %g) = %g, want %g", c.name, c.in, c.p, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	if odd[0] != 3 || odd[1] != 1 || odd[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", odd)
+	}
+}
+
+func TestSlowdownEdges(t *testing.T) {
+	if got := Slowdown(100, 300, 100); !approx(got, 2) {
+		t.Errorf("slowdown = %g, want 2", got)
+	}
+	if got := Slowdown(100, 300, 0); got != 0 {
+		t.Errorf("zero alone reference gave %g", got)
+	}
+	if got := Slowdown(100, 300, -5); got != 0 {
+		t.Errorf("negative alone reference gave %g", got)
+	}
+	if got := Slowdown(300, 100, 100); got != 0 {
+		t.Errorf("finish before arrival gave %g", got)
+	}
+}
+
+func TestThroughputLossEdges(t *testing.T) {
+	if got := ThroughputLoss(0, 5); got != 0 {
+		t.Errorf("pre=0 gave %g, want 0 (no healthy baseline)", got)
+	}
+	if got := ThroughputLoss(-1, 5); got != 0 {
+		t.Errorf("pre<0 gave %g, want 0", got)
+	}
+	if got := ThroughputLoss(10, 5); !approx(got, 0.5) {
+		t.Errorf("half throughput gave %g, want 0.5", got)
+	}
+	// Speed-up across the fault (app inherited a failed neighbour's
+	// resources) is a negative loss, not clamped.
+	if got := ThroughputLoss(10, 15); !approx(got, -0.5) {
+		t.Errorf("speed-up gave %g, want -0.5", got)
+	}
+}
+
+func TestSTPANTTZeroEntries(t *testing.T) {
+	// Zero entries are skipped, not counted as zero contributions.
+	if got := STP([]float64{10, 20}, []float64{0, 10}); !approx(got, 2) {
+		t.Errorf("STP skipping zero-alone entry = %g, want 2", got)
+	}
+	// ANTT still divides by the full app count (a stalled app should not
+	// improve the mean).
+	if got := ANTT([]float64{0, 10}, []float64{10, 20}); !approx(got, 1) {
+		t.Errorf("ANTT with one zero-ipc entry = %g, want 1", got)
+	}
+	if got := STP(nil, nil); got != 0 {
+		t.Errorf("STP of empty = %g", got)
+	}
+}
+
+func TestSLOSpecMet(t *testing.T) {
+	spec := SLOSpec{LCSlowdown: 4, BESlowdown: 12}
+	if !spec.Met(workload.LatencyCritical, 4) || spec.Met(workload.LatencyCritical, 4.01) {
+		t.Error("LC boundary misclassified")
+	}
+	if !spec.Met(workload.BestEffort, 12) || spec.Met(workload.BestEffort, 12.01) {
+		t.Error("BE boundary misclassified")
+	}
+}
+
+func TestBuildSLOReport(t *testing.T) {
+	spec := SLOSpec{LCSlowdown: 4, BESlowdown: 12}
+	jobs := []JobOutcome{
+		// Completed LC within target: slowdown 2.
+		{Class: workload.LatencyCritical, Arrival: 0, Start: 100, Finish: 2000, AloneCycles: 1000},
+		// Completed LC past target: slowdown 8.
+		{Class: workload.LatencyCritical, Arrival: 0, Start: 4000, Finish: 8000, AloneCycles: 1000},
+		// Completed BE within its looser target: slowdown 8.
+		{Class: workload.BestEffort, Arrival: 1000, Start: 1100, Finish: 9000, AloneCycles: 1000, Preemptions: 2},
+		// Admitted but unfinished.
+		{Class: workload.BestEffort, Arrival: 2000, Start: 2100, Finish: -1, AloneCycles: 1000},
+		// Rejected.
+		{Class: workload.BestEffort, Arrival: 3000, Start: -1, Finish: -1, AloneCycles: 1000, Rejected: true},
+	}
+	r := BuildSLOReport(jobs, spec, 10_000)
+	if r.Jobs != 5 || r.Completed != 3 || r.Rejected != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.SLOMet != 2 {
+		t.Errorf("SLOMet = %d, want 2", r.SLOMet)
+	}
+	if r.Preemptions != 2 {
+		t.Errorf("Preemptions = %d, want 2", r.Preemptions)
+	}
+	if !approx(r.RejectRate, 0.2) {
+		t.Errorf("RejectRate = %g, want 0.2", r.RejectRate)
+	}
+	// Goodput: 2 SLO-met jobs x 1000 alone cycles over a 10K horizon.
+	if !approx(r.Goodput, 0.2) {
+		t.Errorf("Goodput = %g, want 0.2", r.Goodput)
+	}
+	// Queue delay over the four admitted jobs: (100+4000+100+100)/4.
+	if !approx(r.MeanQueueDelay, 1075) {
+		t.Errorf("MeanQueueDelay = %g, want 1075", r.MeanQueueDelay)
+	}
+	// Slowdowns {2, 8, 8}: median 8, mean 6.
+	if !approx(r.P50, 8) || !approx(r.MeanSlowdown, 6) {
+		t.Errorf("P50 = %g, mean = %g", r.P50, r.MeanSlowdown)
+	}
+	if r.P99 < r.P95 || r.P95 < r.P50 {
+		t.Errorf("percentiles not monotone: %+v", r)
+	}
+
+	// Degenerate horizons yield no goodput rather than dividing by zero.
+	if got := BuildSLOReport(jobs, spec, 0); got.Goodput != 0 {
+		t.Errorf("zero horizon goodput = %g", got.Goodput)
+	}
+	empty := BuildSLOReport(nil, spec, 1000)
+	if empty.Jobs != 0 || empty.Goodput != 0 || empty.RejectRate != 0 || empty.P99 != 0 {
+		t.Errorf("empty report = %+v", empty)
+	}
+}

@@ -1,0 +1,710 @@
+// Package serve implements the online serving layer of ISSUE 3: a
+// discrete-event scheduler that drives one GPU as a service. Tenants arrive
+// over time (internal/workload's seeded arrival schedules), wait in
+// per-class queues under an admission controller, execute on a dynamically
+// partitioned GPU slice (live attach), and depart when their instruction
+// budget is served (live detach through the two-phase drain of
+// internal/gpu/attach.go). SLO accounting — queueing delay, per-job slowdown
+// versus the alone-run reference, percentiles, goodput, rejection and
+// preemption rates — lands in internal/metrics.
+//
+// Everything is deterministic: arrival schedules are pure functions of
+// (spec, seed), boundary processing iterates in slot/arrival order, and the
+// alone-IPC reference values are identical no matter which goroutine of a
+// parallel sweep measured them. Identical seeds therefore produce
+// byte-identical reports at any sweep parallelism, with or without fault
+// injection.
+package serve
+
+import (
+	"fmt"
+
+	"ugpu/internal/config"
+	"ugpu/internal/gpu"
+	"ugpu/internal/metrics"
+	"ugpu/internal/workload"
+)
+
+// Policy selects the admission/placement discipline.
+type Policy int
+
+const (
+	// InOrder admits strictly in arrival order (one logical FIFO with
+	// head-of-line blocking) and never preempts.
+	InOrder Policy = iota
+	// ClassAware drains the latency-critical queue first and preempts
+	// best-effort tenants when LC work is blocked.
+	ClassAware
+	// LoadAware is ClassAware plus a bandwidth gate: memory-bound
+	// best-effort jobs are deferred (skipped, not rejected) while measured
+	// DRAM load is high, letting compute-bound work behind them through.
+	LoadAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case InOrder:
+		return "in-order"
+	case ClassAware:
+		return "class-aware"
+	case LoadAware:
+		return "load-aware"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy maps a flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "in-order", "inorder", "fifo":
+		return InOrder, nil
+	case "class-aware", "class":
+		return ClassAware, nil
+	case "load-aware", "load":
+		return LoadAware, nil
+	}
+	return 0, fmt.Errorf("serve: unknown policy %q (want in-order, class-aware, or load-aware)", s)
+}
+
+// Policies lists every admission policy in presentation order.
+func Policies() []Policy { return []Policy{InOrder, ClassAware, LoadAware} }
+
+// Config parameterises one serve run.
+type Config struct {
+	// Sim is the simulator configuration; MaxCycles is the serving horizon
+	// and EpochCycles the scheduling quantum.
+	Sim config.Config
+	// Opt configures the GPU mechanisms (migration mode, faults, ...).
+	Opt gpu.Options
+	// Arrivals generates the request stream (ignored when Jobs is set).
+	Arrivals workload.ArrivalSpec
+	// Seed seeds the arrival schedule.
+	Seed int64
+	// Jobs, when non-nil, replays an explicit schedule instead of Arrivals.
+	Jobs []workload.Job
+	// Policy is the admission/placement discipline.
+	Policy Policy
+	// SLO sets the per-class slowdown targets (zero value: metrics.DefaultSLO).
+	SLO metrics.SLOSpec
+	// MaxResident bounds concurrently resident tenants (default 4).
+	MaxResident int
+	// QueueCap bounds each class queue; arrivals beyond it are rejected
+	// (default 16).
+	QueueCap int
+	// LoadThreshold is the DRAM lines/channel/cycle level above which
+	// LoadAware defers memory-bound best-effort admission (default 0.10).
+	LoadThreshold float64
+	// Alone supplies solo-IPC references; nil builds one from Sim/Opt.
+	// Sweeps share one instance so each benchmark is measured once.
+	Alone *metrics.AloneIPC
+}
+
+func (c *Config) withDefaults() {
+	if c.MaxResident <= 0 {
+		c.MaxResident = 4
+	}
+	if c.MaxResident > gpu.MaxApps {
+		c.MaxResident = gpu.MaxApps
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.LoadThreshold <= 0 {
+		c.LoadThreshold = 0.10
+	}
+	if c.SLO == (metrics.SLOSpec{}) {
+		c.SLO = metrics.DefaultSLO()
+	}
+	if c.Alone == nil {
+		c.Alone = metrics.NewAloneIPC(c.Sim, c.Opt)
+	}
+}
+
+// Report is a serve run's outcome.
+type Report struct {
+	Policy  Policy
+	Cycles  uint64
+	Epochs  int
+	Arrived int
+
+	Attaches    int
+	Detaches    int
+	Preemptions int
+	Rejections  int
+
+	// Outcomes holds one entry per observed arrival, in arrival order.
+	Outcomes []metrics.JobOutcome
+	// SLO is the folded report over Outcomes.
+	SLO metrics.SLOReport
+}
+
+// jobState tracks one arrival through the system.
+type jobState struct {
+	job      workload.Job
+	work     uint64 // instruction budget (AloneCycles x alone IPC)
+	served   uint64 // instructions credited so far
+	slot     int    // resident slot, -1 when queued/done
+	admitSeq int    // global admission counter (preemption tie-break)
+	admitAt  int    // latest admission cycle
+	start    int    // first admission cycle, -1 if never admitted
+	finish   int    // completion cycle, -1
+	rejected bool
+	preempts int
+}
+
+// Server drives one GPU through an arrival schedule. Build with New, run
+// with Run.
+type Server struct {
+	cfg  Config
+	g    *gpu.GPU
+	jobs []*jobState
+
+	nextArr  int // first not-yet-arrived index into jobs
+	lcQ, beQ []*jobState
+
+	resident [gpu.MaxApps]*jobState
+	last     []gpu.EpochStats
+	admitSeq int
+
+	epochs      int
+	attaches    int
+	detaches    int
+	preemptions int
+	rejections  int
+}
+
+// New validates the configuration, generates the arrival schedule, and
+// builds an initially empty GPU.
+func New(cfg Config) (*Server, error) {
+	cfg.withDefaults()
+	jobs := cfg.Jobs
+	if jobs == nil {
+		var err error
+		jobs, err = cfg.Arrivals.Generate(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g, err := gpu.New(cfg.Sim, nil, cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, g: g}
+	s.jobs = make([]*jobState, len(jobs))
+	for i, j := range jobs {
+		s.jobs[i] = &jobState{job: j, slot: -1, start: -1, finish: -1}
+	}
+	return s, nil
+}
+
+// GPU exposes the device (tests).
+func (s *Server) GPU() *gpu.GPU { return s.g }
+
+// Run executes the serve loop to the horizon and folds the outcomes.
+func (s *Server) Run() (*Report, error) {
+	horizon := uint64(s.cfg.Sim.MaxCycles)
+	epoch := uint64(s.cfg.Sim.EpochCycles)
+	if epoch == 0 || epoch > horizon {
+		epoch = horizon
+	}
+	for s.g.Cycle() < horizon {
+		step := epoch
+		if rem := horizon - s.g.Cycle(); rem < step {
+			step = rem
+		}
+		if err := s.g.RunChecked(step); err != nil {
+			return nil, err
+		}
+		if err := s.boundary(int(s.g.Cycle())); err != nil {
+			return nil, err
+		}
+		s.epochs++
+	}
+	return s.report(), nil
+}
+
+// boundary is the per-epoch scheduling pass. Order matters for determinism
+// and is fixed: profile, credit, complete, reclaim, arrivals, preemption,
+// admission, repartition, audit.
+func (s *Server) boundary(cycle int) error {
+	stats := s.g.EndEpoch()
+	s.last = stats
+
+	// Credit serving progress and collect completions, in slot order.
+	for slot := 0; slot < len(stats); slot++ {
+		js := s.resident[slot]
+		if js == nil {
+			continue
+		}
+		js.served += stats[slot].Instructions
+		if js.served >= js.work {
+			js.finish = cycle
+			if err := s.detach(cycle, slot); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Reclaim quiesced departures (pages freed, slot vacated).
+	for i, app := range s.g.Apps() {
+		if app.Detaching() {
+			s.g.FinishDetach(uint64(cycle), i)
+		}
+	}
+
+	// New arrivals enter their class queue; a full queue rejects.
+	for s.nextArr < len(s.jobs) && s.jobs[s.nextArr].job.Arrival <= cycle {
+		js := s.jobs[s.nextArr]
+		s.nextArr++
+		switch {
+		case js.job.Class == workload.LatencyCritical && len(s.lcQ) < s.cfg.QueueCap:
+			s.lcQ = append(s.lcQ, js)
+		case js.job.Class == workload.BestEffort && len(s.beQ) < s.cfg.QueueCap:
+			s.beQ = append(s.beQ, js)
+		default:
+			js.rejected = true
+			s.rejections++
+		}
+	}
+
+	// Preemption: blocked latency-critical work evicts best-effort tenants
+	// (class-aware and load-aware only).
+	if s.cfg.Policy != InOrder {
+		for i := 0; i < len(s.lcQ); i++ {
+			if s.canAdmit() {
+				break
+			}
+			if !s.preemptOneBE(cycle) {
+				break
+			}
+		}
+	}
+
+	// Admission: drain the policy-ordered queue while capacity lasts.
+	highLoad := s.dramLoad() > s.cfg.LoadThreshold
+	for s.canAdmit() {
+		js := s.nextCandidate(highLoad)
+		if js == nil {
+			break
+		}
+		if err := s.admit(cycle, js); err != nil {
+			return err
+		}
+	}
+
+	// Repartition survivors over the full machine.
+	if err := s.repartition(cycle); err != nil {
+		return err
+	}
+	if err := s.g.CheckInvariants(); err != nil {
+		return fmt.Errorf("serve: cycle %d: %w", cycle, err)
+	}
+	return nil
+}
+
+// detach begins the two-phase removal of a resident tenant.
+func (s *Server) detach(cycle, slot int) error {
+	if err := s.g.BeginDetach(uint64(cycle), slot); err != nil {
+		return err
+	}
+	s.resident[slot] = nil
+	s.detaches++
+	return nil
+}
+
+// preemptOneBE evicts the most recently admitted best-effort tenant and
+// requeues its job (front of the BE queue, progress retained). It reports
+// whether a victim existed.
+func (s *Server) preemptOneBE(cycle int) bool {
+	victim := -1
+	for slot, js := range s.resident {
+		if js == nil || js.job.Class != workload.BestEffort {
+			continue
+		}
+		if victim < 0 || js.admitSeq > s.resident[victim].admitSeq {
+			victim = slot
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	js := s.resident[victim]
+	js.preempts++
+	s.preemptions++
+	if err := s.g.BeginDetach(uint64(cycle), victim); err != nil {
+		return false
+	}
+	s.resident[victim] = nil
+	s.detaches++
+	s.beQ = append([]*jobState{js}, s.beQ...)
+	return true
+}
+
+// activeSlots lists slots with a resident tenant, ascending.
+func (s *Server) activeSlots() []int {
+	var out []int
+	for slot, js := range s.resident {
+		if js != nil {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// hasSlot reports whether a vacant slot exists or a fresh one can be added.
+func (s *Server) hasSlot() bool {
+	apps := s.g.Apps()
+	for _, app := range apps {
+		if app.Vacant() {
+			return true
+		}
+	}
+	return len(apps) < gpu.MaxApps
+}
+
+// canAdmit reports whether one more tenant fits: a slot, a channel group,
+// and at least one SM (free or carvable from a multi-SM resident).
+func (s *Server) canAdmit() bool {
+	actives := len(s.activeSlots())
+	if actives >= s.cfg.MaxResident {
+		return false
+	}
+	if !s.hasSlot() {
+		return false
+	}
+	if len(s.g.AliveGroups()) < actives+1 {
+		return false
+	}
+	if len(s.g.FreeSMs()) > 0 {
+		return true
+	}
+	for _, slot := range s.activeSlots() {
+		if len(s.g.Apps()[slot].SMs) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// dramLoad is last epoch's DRAM throughput in lines per channel-cycle.
+func (s *Server) dramLoad() float64 {
+	if len(s.last) == 0 {
+		return 0
+	}
+	var lines uint64
+	cycles := uint64(0)
+	for _, st := range s.last {
+		lines += st.DRAMLines
+		cycles = st.Cycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(lines) / float64(cycles) / float64(s.cfg.Sim.NumChannels())
+}
+
+// nextCandidate picks the next job to admit under the policy, removing it
+// from its queue. nil means no admissible candidate.
+func (s *Server) nextCandidate(highLoad bool) *jobState {
+	switch s.cfg.Policy {
+	case InOrder:
+		// One logical FIFO: the earlier arrival of the two queue heads (job
+		// IDs are arrival-ordered, so compare IDs). Head-of-line blocks.
+		if len(s.lcQ) == 0 && len(s.beQ) == 0 {
+			return nil
+		}
+		if len(s.beQ) == 0 || (len(s.lcQ) > 0 && s.lcQ[0].job.ID < s.beQ[0].job.ID) {
+			return s.popLC()
+		}
+		return s.popBE(0)
+	case ClassAware:
+		if len(s.lcQ) > 0 {
+			return s.popLC()
+		}
+		if len(s.beQ) > 0 {
+			return s.popBE(0)
+		}
+		return nil
+	case LoadAware:
+		if len(s.lcQ) > 0 {
+			return s.popLC()
+		}
+		for i, js := range s.beQ {
+			if highLoad && js.job.Bench.Class == workload.MemoryBound {
+				continue // deferred, not rejected: it stays in place
+			}
+			return s.popBE(i)
+		}
+		return nil
+	}
+	return nil
+}
+
+func (s *Server) popLC() *jobState {
+	js := s.lcQ[0]
+	s.lcQ[0] = nil
+	s.lcQ = s.lcQ[1:]
+	return js
+}
+
+func (s *Server) popBE(i int) *jobState {
+	js := s.beQ[i]
+	s.beQ = append(s.beQ[:i], s.beQ[i+1:]...)
+	return js
+}
+
+// groupPlan computes a minimal-movement assignment of the alive channel
+// groups to slots (ascending slot order): each slot keeps as many of its
+// current groups as its fair share allows (lowest first, so surpluses shed
+// highest-first), and deficits fill from the unassigned pool lowest-first.
+// A slot with no App yet (the predicted slot of an admission in progress)
+// simply draws its whole share from the pool.
+//
+// Against the obvious alternative — re-splitting the alive list contiguously
+// every boundary — this keeps steady-state boundaries free of SetGroups
+// churn: reassigning a group costs a TLB/cache flush and a footprint
+// migration, and a contiguous re-split moves almost every tenant's groups
+// whenever the population changes.
+func (s *Server) groupPlan(slots []int) map[int][]int {
+	alive := s.g.AliveGroups()
+	chunks := splitGroups(alive, len(slots))
+	aliveSet := make(map[int]bool, len(alive))
+	for _, gr := range alive {
+		aliveSet[gr] = true
+	}
+	apps := s.g.Apps()
+	plan := make(map[int][]int, len(slots))
+	used := make(map[int]bool, len(alive))
+	for i, slot := range slots {
+		var kept []int
+		if slot < len(apps) {
+			for _, gr := range apps[slot].Groups {
+				if aliveSet[gr] && !used[gr] && len(kept) < len(chunks[i]) {
+					kept = append(kept, gr)
+					used[gr] = true
+				}
+			}
+		}
+		plan[slot] = kept
+	}
+	var pool []int
+	for _, gr := range alive {
+		if !used[gr] {
+			pool = append(pool, gr)
+		}
+	}
+	for i, slot := range slots {
+		for len(plan[slot]) < len(chunks[i]) {
+			plan[slot] = append(plan[slot], pool[0])
+			pool = pool[1:]
+		}
+		sortInts(plan[slot])
+	}
+	return plan
+}
+
+// splitGroups deals groups into k contiguous chunks whose sizes differ by at
+// most one (earlier chunks take the remainder).
+func splitGroups(groups []int, k int) [][]int {
+	out := make([][]int, k)
+	base, rem := len(groups)/k, len(groups)%k
+	at := 0
+	for i := 0; i < k; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		out[i] = groups[at : at+n]
+		at += n
+	}
+	return out
+}
+
+// admit carves a slice for the job and attaches it: channel groups are
+// re-split over actives plus the newcomer, and SMs come from the free pool —
+// shedding from the richest residents (context-switch semantics) when the
+// pool is empty.
+func (s *Server) admit(cycle int, js *jobState) error {
+	if js.work == 0 {
+		ipc, err := s.cfg.Alone.Get(js.job.Bench)
+		if err != nil {
+			return err
+		}
+		js.work = uint64(float64(js.job.AloneCycles) * ipc)
+		if js.work == 0 {
+			js.work = 1
+		}
+	}
+
+	actives := s.activeSlots()
+	// Predict the slot AttachApp will claim so the group split is stable
+	// across this boundary's later repartition.
+	slot := -1
+	for i, app := range s.g.Apps() {
+		if app.Vacant() {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(s.g.Apps())
+	}
+	order := append(append([]int(nil), actives...), slot)
+	sortInts(order)
+	plan := s.groupPlan(order)
+	for _, sl := range order {
+		if sl == slot {
+			continue
+		}
+		if err := s.g.SetGroups(uint64(cycle), sl, plan[sl]); err != nil {
+			return err
+		}
+	}
+	mine := plan[slot]
+
+	// Fair SM share; carve from the richest residents if the pool is dry.
+	fair := s.g.AvailableSMs() / (len(actives) + 1)
+	if fair < 1 {
+		fair = 1
+	}
+	free := len(s.g.FreeSMs())
+	for free < 1 {
+		richest := -1
+		for _, sl := range actives {
+			if n := len(s.g.Apps()[sl].SMs); n > 1 && (richest < 0 || n > len(s.g.Apps()[richest].SMs)) {
+				richest = sl
+			}
+		}
+		if richest < 0 {
+			return fmt.Errorf("serve: admission with no carvable SMs")
+		}
+		free += s.g.ShedSMs(uint64(cycle), richest, 1)
+	}
+	want := fair
+	if want > free {
+		want = free
+	}
+
+	got, err := s.g.AttachApp(uint64(cycle), gpu.AppSpec{
+		Bench:  js.job.Bench,
+		SMs:    want,
+		Groups: mine,
+	}, uint64(js.job.ID))
+	if err != nil {
+		return err
+	}
+	if got != slot {
+		return fmt.Errorf("serve: predicted slot %d, attach used %d", slot, got)
+	}
+	s.admitSeq++
+	js.slot = slot
+	js.admitSeq = s.admitSeq
+	js.admitAt = cycle
+	if js.start < 0 {
+		js.start = cycle
+	}
+	s.resident[slot] = js
+	s.attaches++
+	return nil
+}
+
+// repartition rebalances the machine over the current residents: channel
+// groups re-split evenly, free SMs granted to the under-provisioned, then
+// drain/switch moves between residents toward an equal share.
+func (s *Server) repartition(cycle int) error {
+	actives := s.activeSlots()
+	if len(actives) == 0 {
+		return nil
+	}
+	plan := s.groupPlan(actives)
+	for _, slot := range actives {
+		if err := s.g.SetGroups(uint64(cycle), slot, plan[slot]); err != nil {
+			return err
+		}
+	}
+
+	avail := s.g.AvailableSMs()
+	base, rem := avail/len(actives), avail%len(actives)
+	target := make(map[int]int, len(actives))
+	for i, slot := range actives {
+		target[slot] = base
+		if i < rem {
+			target[slot]++
+		}
+	}
+	// Free pool first.
+	for _, slot := range actives {
+		app := s.g.Apps()[slot]
+		if cur := len(app.SMs) + app.Inbound(); cur < target[slot] {
+			s.g.GrantSMs(uint64(cycle), slot, target[slot]-cur)
+		}
+	}
+	// Then drain/switch between residents (ApplyPartition's greedy loop).
+	for iter := 0; iter < len(actives)*s.cfg.Sim.NumSMs; iter++ {
+		give, take, surplus, deficit := -1, -1, 0, 0
+		for _, slot := range actives {
+			app := s.g.Apps()[slot]
+			diff := len(app.SMs) + app.Inbound() - target[slot]
+			if diff > surplus {
+				give, surplus = slot, diff
+			}
+			if -diff > deficit {
+				take, deficit = slot, -diff
+			}
+		}
+		if give < 0 || take < 0 {
+			break
+		}
+		n := surplus
+		if deficit < n {
+			n = deficit
+		}
+		if max := len(s.g.Apps()[give].SMs) - 1; n > max {
+			n = max
+		}
+		if n <= 0 {
+			break
+		}
+		if err := s.g.MoveSMs(uint64(cycle), give, take, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// report folds observed outcomes.
+func (s *Server) report() *Report {
+	r := &Report{
+		Policy:      s.cfg.Policy,
+		Cycles:      s.g.Cycle(),
+		Epochs:      s.epochs,
+		Arrived:     s.nextArr,
+		Attaches:    s.attaches,
+		Detaches:    s.detaches,
+		Preemptions: s.preemptions,
+		Rejections:  s.rejections,
+	}
+	r.Outcomes = make([]metrics.JobOutcome, 0, s.nextArr)
+	for _, js := range s.jobs[:s.nextArr] {
+		r.Outcomes = append(r.Outcomes, metrics.JobOutcome{
+			Class:       js.job.Class,
+			Arrival:     js.job.Arrival,
+			Start:       js.start,
+			Finish:      js.finish,
+			AloneCycles: js.job.AloneCycles,
+			Rejected:    js.rejected,
+			Preemptions: js.preempts,
+		})
+	}
+	r.SLO = metrics.BuildSLOReport(r.Outcomes, s.cfg.SLO, s.cfg.Sim.MaxCycles)
+	return r
+}
+
+// sortInts is a tiny insertion sort (order slices are at most MaxApps long).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

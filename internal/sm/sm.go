@@ -225,6 +225,20 @@ func (s *SM) Fail(cycle uint64) {
 	}
 }
 
+// Release immediately detaches the SM from its application and returns it to
+// the idle pool (tenant departure in the online serving layer). Resident
+// warps are dropped exactly as on a context switch — their in-flight loads
+// drain harmlessly into orphaned Warp objects — and any pending drain/switch
+// completion callback is cancelled (the controller unwinds its own in-flight
+// bookkeeping). A failed SM stays failed; an idle SM is a no-op.
+func (s *SM) Release(cycle uint64) {
+	if s.state == Failed || s.state == Idle {
+		return
+	}
+	s.onFree = nil
+	s.finishFree(cycle)
+}
+
 // OutstandingLoads sums resident warps' in-flight loads (diagnostics).
 func (s *SM) OutstandingLoads() int {
 	n := 0

@@ -277,3 +277,23 @@ func (w *Walker) Tick(cycle uint64) {
 
 // Pending reports active plus queued walks.
 func (w *Walker) Pending() int { return len(w.active) + len(w.waiting) }
+
+// PendingTagged counts active plus queued tagged walks whose per-walk
+// argument satisfies match. Callers that enqueue walks via EnqueueTagged with
+// a tlb.Key argument can use it to ask whether any walk still references a
+// given application (the quiescence check of live tenant detach); closure
+// walks (Enqueue) carry no argument and are never counted.
+func (w *Walker) PendingTagged(match func(arg uint64) bool) int {
+	n := 0
+	for _, wk := range w.active {
+		if wk.tfn != nil && match(wk.arg) {
+			n++
+		}
+	}
+	for _, wk := range w.waiting {
+		if wk.tfn != nil && match(wk.arg) {
+			n++
+		}
+	}
+	return n
+}

@@ -121,6 +121,75 @@ func NewManager(cfg config.Config, mapper *addr.CustomMapper, numApps int) *Mana
 // Space returns an application's address space.
 func (m *Manager) Space(app int) *Space { return m.spaces[app] }
 
+// NumSpaces reports how many address spaces exist (including released ones —
+// space slots are reused by the online serving layer).
+func (m *Manager) NumSpaces() int { return len(m.spaces) }
+
+// AddSpace appends a fresh empty address space and returns its id. The
+// online serving layer uses it when a tenant attaches to a slot beyond the
+// spaces created at construction.
+func (m *Manager) AddSpace() int {
+	sp := &Space{
+		id:         len(m.spaces),
+		pageTable:  make(map[uint64]uint64),
+		byGroup:    make([]map[uint64]struct{}, m.cfg.ChannelGroups()),
+		allowed:    make([]bool, m.cfg.ChannelGroups()),
+		migrating:  make(map[uint64]bool),
+		pendingAll: make(map[uint64]struct{}),
+	}
+	for g := range sp.byGroup {
+		sp.byGroup[g] = make(map[uint64]struct{})
+	}
+	m.spaces = append(m.spaces, sp)
+	return sp.id
+}
+
+// ReleaseSpace unmaps every page of the application and recycles the backing
+// frames (tenant departure). The caller must guarantee quiescence: no
+// in-flight migration, translation, or access may still reference the space —
+// ReleaseSpace panics if a migration is marked in flight. Frames on dead
+// channel groups are not recycled (the silicon is gone). Frames are freed in
+// ascending VPN order so the recycle stacks — and therefore every later
+// allocation — are deterministic. The space object itself survives for reuse
+// by a later tenant on the same slot; its group set is cleared.
+func (m *Manager) ReleaseSpace(app int) int {
+	sp := m.spaces[app]
+	if len(sp.migrating) != 0 {
+		panic(fmt.Sprintf("vm: releasing app %d with %d migrations in flight", app, len(sp.migrating)))
+	}
+	vpns := make([]uint64, 0, len(sp.pageTable))
+	for vpn := range sp.pageTable {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		pa := sp.pageTable[vpn]
+		group := m.mapper.ChannelGroup(pa)
+		delete(sp.pageTable, vpn)
+		delete(sp.byGroup[group], vpn)
+		delete(m.frameTag, pa)
+		delete(m.frameOwner, pa)
+		if !m.deadGroup[group] {
+			_, frame := m.mapper.FrameOf(pa)
+			m.recycled[group] = append(m.recycled[group], frame)
+		}
+		m.stats.Freed++
+		m.stats.Allocated--
+	}
+	for vpn := range sp.pendingAll {
+		delete(sp.pendingAll, vpn)
+	}
+	sp.rebalancing = false
+	sp.groups = sp.groups[:0]
+	for i := range sp.allowed {
+		sp.allowed[i] = false
+	}
+	return len(vpns)
+}
+
+// PageCount reports the application's resident page count.
+func (m *Manager) PageCount(app int) int { return len(m.spaces[app].pageTable) }
+
 // Stats returns a copy of the counters.
 func (m *Manager) Stats() Stats { return m.stats }
 

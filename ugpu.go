@@ -29,6 +29,7 @@ import (
 	"ugpu/internal/experiments"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
+	"ugpu/internal/serve"
 	"ugpu/internal/workload"
 )
 
@@ -227,3 +228,79 @@ func DefaultExperiments() Experiments { return experiments.Default() }
 // prior-work discussion: it probes partitions and keeps improvements,
 // paying real reallocation cost per probe.
 var NewHillClimb = core.NewHillClimb
+
+// Online serving (extension, see DESIGN.md "Online serving layer"): tenants
+// arrive over time, wait under an admission policy, run on live-attached GPU
+// slices, and depart through a two-phase detach. Identical seeds give
+// byte-identical reports.
+
+// QoS is a job's service class (latency-critical or best-effort).
+type QoS = workload.QoS
+
+// Service classes.
+const (
+	LatencyCritical = workload.LatencyCritical
+	BestEffort      = workload.BestEffort
+)
+
+// ArrivalSpec parameterises a seeded Poisson/burst arrival schedule.
+type ArrivalSpec = workload.ArrivalSpec
+
+// Job is one tenant of the open-world serving model.
+type Job = workload.Job
+
+// ServePolicy selects the admission discipline of a Server.
+type ServePolicy = serve.Policy
+
+// Admission policies.
+const (
+	// ServeInOrder admits strictly in arrival order (FIFO baseline with
+	// head-of-line blocking).
+	ServeInOrder = serve.InOrder
+	// ServeClassAware drains the latency-critical queue first and preempts
+	// best-effort tenants when LC work is blocked.
+	ServeClassAware = serve.ClassAware
+	// ServeLoadAware is class-aware plus a DRAM-bandwidth admission gate
+	// for memory-bound best-effort jobs.
+	ServeLoadAware = serve.LoadAware
+)
+
+// ServePolicies lists every admission policy in presentation order.
+func ServePolicies() []ServePolicy { return serve.Policies() }
+
+// ParseServePolicy maps a flag value ("in-order", "class-aware",
+// "load-aware") to a ServePolicy.
+func ParseServePolicy(s string) (ServePolicy, error) { return serve.ParsePolicy(s) }
+
+// ServeConfig parameterises one serve run (simulator config, arrival spec,
+// admission policy, queue capacity, SLO targets).
+type ServeConfig = serve.Config
+
+// ServeReport is a serve run's outcome: per-job outcomes plus the folded
+// SLO report.
+type ServeReport = serve.Report
+
+// Server drives one dynamically partitioned GPU through an arrival
+// schedule, admitting, preempting, and detaching tenants at epoch
+// boundaries.
+type Server = serve.Server
+
+// NewServer validates the configuration, generates the arrival schedule,
+// and builds an initially empty GPU. Run with (*Server).Run.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// SLOSpec holds the per-class slowdown targets.
+type SLOSpec = metrics.SLOSpec
+
+// DefaultSLO returns the default serving targets (LC 6x alone, BE 16x).
+func DefaultSLO() SLOSpec { return metrics.DefaultSLO() }
+
+// SLOReport aggregates job outcomes: slowdown percentiles, queueing delay,
+// goodput, rejection and preemption rates.
+type SLOReport = metrics.SLOReport
+
+// JobOutcome records one job's passage through the system.
+type JobOutcome = metrics.JobOutcome
+
+// Slowdown is a completed job's (finish-arrival)/alone ratio.
+var Slowdown = metrics.Slowdown
