@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke experiments bench-json clean
+.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke trace-smoke experiments bench-json clean
 
 all: check
 
@@ -58,6 +58,24 @@ serve-smoke:
 	cmp serve-serial.txt serve-parallel.txt
 	cat serve-serial.txt
 	rm -f serve-serial.txt serve-parallel.txt
+
+## trace-smoke: traced sweep determinism; the JSONL event stream and the
+## rendered figure must be byte-identical serial vs parallel, healthy and
+## under fault injection (CI smoke job). Note: `go test ./internal/...`
+## additionally asserts results are unchanged with tracing off and that the
+## disabled tracer allocates nothing on the simulation hot path.
+TRACE_SMOKE_FLAGS = -fig faults,serve -cycles 60000 -epoch 15000 -mixes 2 \
+	-fault-seed 7 -serve-seed 9 -trace
+trace-smoke:
+	$(GO) run ./cmd/experiments $(TRACE_SMOKE_FLAGS) -parallel 1 -trace-out trace-serial.jsonl > trace-fig-serial.txt
+	$(GO) run ./cmd/experiments $(TRACE_SMOKE_FLAGS) -parallel 8 -trace-out trace-parallel.jsonl > trace-fig-parallel.txt
+	cmp trace-serial.jsonl trace-parallel.jsonl
+	cmp trace-fig-serial.txt trace-fig-parallel.txt
+	$(GO) run ./cmd/experiments $(TRACE_SMOKE_FLAGS) -faults "sm=2,group=1,mig=0.05" -parallel 1 -trace-out trace-faults-serial.jsonl > /dev/null
+	$(GO) run ./cmd/experiments $(TRACE_SMOKE_FLAGS) -faults "sm=2,group=1,mig=0.05" -parallel 8 -trace-out trace-faults-parallel.jsonl > /dev/null
+	cmp trace-faults-serial.jsonl trace-faults-parallel.jsonl
+	wc -l trace-serial.jsonl trace-faults-serial.jsonl
+	rm -f trace-serial.jsonl trace-parallel.jsonl trace-faults-serial.jsonl trace-faults-parallel.jsonl trace-fig-serial.txt trace-fig-parallel.txt
 
 ## experiments: regenerate every figure at the recorded scale
 experiments:

@@ -7,11 +7,20 @@
 //	            [-cycles N] [-epoch N] [-mixes N] [-scale N] [-parallel N]
 //	            [-faults spec] [-fault-seed N] [-watchdog-timeout N]
 //	            [-arrival-rate R] [-qos-mix F] [-serve-seed N]
+//	            [-trace] [-trace-out path] [-trace-filter spec] [-pprof prefix]
 //	            [-bench-json path] [-v]
 //
 // Every figure is a sweep of independent simulations fanned out through
 // internal/parallel; -parallel bounds the worker pool (0 = GOMAXPROCS,
 // 1 = serial). Output is byte-identical for any worker count.
+//
+// -trace attaches a per-cell deterministic event tracer to the sweep
+// figures (faults, serve) and writes the events as JSONL to -trace-out
+// (default trace.jsonl; a .json extension converts to Chrome trace_event
+// format loadable in chrome://tracing or Perfetto). -trace-filter selects
+// categories and minimum severity ("migration,fault,sev=warn"); the JSONL
+// is byte-identical at any -parallel count. -pprof writes
+// <prefix>.cpu.pprof and <prefix>.mem.pprof runtime profiles.
 //
 // -bench-json runs the selected figures twice (serial, then parallel),
 // records wall-clock, allocation counts, and the hot-path micro-benchmark,
@@ -22,13 +31,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ugpu/internal/experiments"
+	"ugpu/internal/trace"
 )
 
 // gen is one runnable figure generator.
@@ -72,20 +85,24 @@ func generatorFor(opt experiments.Options, id string) (func() (experiments.Figur
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which figure to regenerate (comma-separated ids or 'all')")
-		cycles    = flag.Int("cycles", 0, "simulated cycles per run (default: experiment suite default)")
-		epoch     = flag.Int("epoch", 0, "epoch length in cycles")
-		mixes     = flag.Int("mixes", 0, "mixes per sweep")
-		scale     = flag.Int("scale", 0, "footprint divisor")
-		parallelN = flag.Int("parallel", 0, "sweep fan-out workers (0 = GOMAXPROCS, 1 = serial)")
-		faults    = flag.String("faults", "", "custom fault spec for the faults figure (e.g. \"sm=2,group=1,mig=0.05\")")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
-		watchdog  = flag.Int("watchdog-timeout", 0, "watchdog window in cycles (-1 disables; 0 keeps the config default)")
-		arrRate   = flag.Float64("arrival-rate", 0, "serve figure: single arrival rate in jobs per 100K cycles (0 = rising default set)")
-		qosMix    = flag.Float64("qos-mix", 0, "serve figure: latency-critical arrival fraction (0 = the 0.5 default)")
-		serveSeed = flag.Int64("serve-seed", 0, "serve figure: arrival-schedule seed (0 = seed 1)")
-		benchJSON = flag.String("bench-json", "", "write a serial-vs-parallel benchmark report to this path and exit")
-		verbose   = flag.Bool("v", false, "log per-run progress")
+		fig         = flag.String("fig", "all", "which figure to regenerate (comma-separated ids or 'all')")
+		cycles      = flag.Int("cycles", 0, "simulated cycles per run (default: experiment suite default)")
+		epoch       = flag.Int("epoch", 0, "epoch length in cycles")
+		mixes       = flag.Int("mixes", 0, "mixes per sweep")
+		scale       = flag.Int("scale", 0, "footprint divisor")
+		parallelN   = flag.Int("parallel", 0, "sweep fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+		faults      = flag.String("faults", "", "custom fault spec for the faults figure (e.g. \"sm=2,group=1,mig=0.05\")")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+		watchdog    = flag.Int("watchdog-timeout", 0, "watchdog window in cycles (-1 disables; 0 keeps the config default)")
+		arrRate     = flag.Float64("arrival-rate", 0, "serve figure: single arrival rate in jobs per 100K cycles (0 = rising default set)")
+		qosMix      = flag.Float64("qos-mix", 0, "serve figure: latency-critical arrival fraction (0 = the 0.5 default)")
+		serveSeed   = flag.Int64("serve-seed", 0, "serve figure: arrival-schedule seed (0 = seed 1)")
+		traceOn     = flag.Bool("trace", false, "record deterministic event traces for the sweep figures (faults, serve)")
+		traceOut    = flag.String("trace-out", "", "trace output path (implies -trace; default trace.jsonl; .json converts to Chrome trace_event)")
+		traceFilter = flag.String("trace-filter", "", "trace category/severity filter, e.g. \"migration,fault,sev=warn\" (empty = everything)")
+		pprofPrefix = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.mem.pprof runtime profiles")
+		benchJSON   = flag.String("bench-json", "", "write a serial-vs-parallel benchmark report to this path and exit")
+		verbose     = flag.Bool("v", false, "log per-run progress")
 	)
 	flag.Parse()
 
@@ -118,6 +135,74 @@ func main() {
 		opt.Cfg.WatchdogCycles = 0
 	}
 
+	// Tracing: the sweeps stream JSONL into an in-memory buffer (runs are
+	// laptop-scale) which finish() writes to disk, converting to Chrome
+	// trace_event format when the path ends in .json.
+	tracePath := *traceOut
+	if tracePath != "" {
+		*traceOn = true
+	} else if *traceOn {
+		tracePath = "trace.jsonl"
+	}
+	var traceBuf bytes.Buffer
+	if *traceOn {
+		opt.Trace = true
+		opt.TraceFilter = *traceFilter
+		opt.TraceOut = &traceBuf
+	}
+
+	// Profiling: CPU from here to finish(); heap snapshot at finish().
+	if *pprofPrefix != "" {
+		cf, err := os.Create(*pprofPrefix + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// finish writes the deferred artifacts (trace file, profiles) before a
+	// normal exit; error exits skip them.
+	finish := func() {
+		if *pprofPrefix != "" {
+			pprof.StopCPUProfile()
+			mf, err := os.Create(*pprofPrefix + ".mem.pprof")
+			if err == nil {
+				runtime.GC()
+				err = pprof.WriteHeapProfile(mf)
+				if cerr := mf.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !*traceOn {
+			return
+		}
+		f, err := os.Create(tracePath)
+		if err == nil {
+			if strings.HasSuffix(tracePath, ".json") {
+				err = trace.JSONLToChrome(f, &traceBuf)
+			} else {
+				_, err = f.Write(traceBuf.Bytes())
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
+	}
+
 	want := map[string]bool{}
 	for _, id := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(strings.ToLower(id))] = true
@@ -139,6 +224,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 
@@ -163,4 +249,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure id %q\n", *fig)
 		os.Exit(2)
 	}
+	finish()
 }

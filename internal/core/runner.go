@@ -6,6 +6,7 @@ import (
 	"ugpu/internal/config"
 	"ugpu/internal/dram"
 	"ugpu/internal/gpu"
+	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 )
 
@@ -189,7 +190,12 @@ func (r *Runner) applyTargets(cycle uint64, targets []Target) error {
 	for i := range r.groups {
 		r.groups[i] = append(r.groups[i][:0], r.G.PartitionOf(i).Groups...)
 	}
+	demanded := targets
 	targets = r.clampTargets(targets)
+	for i, t := range targets {
+		r.G.Tracer().Emit(trace.KEpochDecide, cycle, int32(i), 0,
+			int64(demanded[i].SMs), int64(t.SMs), int64(t.Groups))
+	}
 	var pool []int
 	for i, t := range targets {
 		for len(r.groups[i]) > t.Groups && len(r.groups[i]) > 1 {
@@ -240,10 +246,14 @@ func (r *Runner) Run() (Result, error) {
 		stats := r.G.EndEpoch()
 		res.Epochs++
 		rec := epochRec{start: epochStart, end: r.G.Cycle(), ipc: make([]float64, len(stats))}
+		var epochInstr uint64
 		for i, e := range stats {
 			res.Apps[i].Instructions += e.Instructions
+			epochInstr += e.Instructions
 			rec.ipc[i] = e.IPC()
 		}
+		r.G.Tracer().Emit(trace.KEpochEnd, r.G.Cycle(), -1, int32(res.Epochs-1),
+			int64(r.G.Cycle()-epochStart), int64(epochInstr), 0)
 		recs = append(recs, rec)
 		if err := r.G.CheckInvariants(); err != nil {
 			return res, err

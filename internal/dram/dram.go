@@ -21,6 +21,7 @@ import (
 
 	"ugpu/internal/addr"
 	"ugpu/internal/config"
+	"ugpu/internal/trace"
 )
 
 // Request is one cache-line DRAM access.
@@ -167,6 +168,9 @@ type HBM struct {
 	// line must be retried by the migration job (bounded, with exponential
 	// backoff). The hook must be deterministic.
 	MigNACK func() bool
+
+	// Trace receives migration-NACK events (nil disables).
+	Trace *trace.Tracer
 }
 
 // AppStats aggregates per-application memory traffic for profiling.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ugpu/internal/addr"
+	"ugpu/internal/trace"
 )
 
 // MigrationMode selects how a page is copied between memory channels.
@@ -179,6 +180,8 @@ func (h *HBM) tickPPMM(cycle uint64, job *migJob) {
 		// drain).
 		if !job.failed && h.MigNACK != nil && h.MigNACK() {
 			l.retries++
+			h.Trace.Emit(trace.KMigNACK, cycle, int32(job.appID),
+				int32(l.src.GlobalChannel(h.cfg.ChannelsPerStack)), int64(l.retries), 0, 0)
 			if l.retries > maxLineRetries {
 				job.failed = true
 				l.state = lineStatePending

@@ -74,17 +74,29 @@ func (o Options) FaultSweep() (Figure, error) {
 		nacks, spills, emergencies uint64
 	}
 	labels := []string{"totalIPC", "meanLoss", "smFail", "grpFail", "migNACK", "spill", "evacPages"}
-	for _, arm := range arms {
+	// One sink slot per (arm, mix) cell, arm-major, so the JSONL stream
+	// orders cells exactly as a serial sweep would run them.
+	sink := parallel.NewOrderedSink(len(arms) * len(mixes))
+	for armIdx, arm := range arms {
 		spec := arm.spec
+		armBase := armIdx * len(mixes)
 		out, err := parallel.Map(o.runner(), len(mixes), func(i int) (armResult, error) {
+			tr, err := o.cellTracer()
+			if err != nil {
+				return armResult{}, err
+			}
 			pol := core.WithOptions(core.NewUGPU(o.Cfg), func(g *gpu.Options) {
 				g.FootprintScale = o.FootprintScale
 				g.Faults = spec
 				g.FaultSeed = o.FaultSeed
+				g.Trace = tr
 			})
 			res, err := core.RunPolicy(o.Cfg, pol, mixes[i])
 			if err != nil {
 				return armResult{}, fmt.Errorf("faults arm %q on %s: %w", arm.name, mixes[i].Name, err)
+			}
+			if err := flushTraceTask(sink.Task(armBase+i), armBase+i, tr); err != nil {
+				return armResult{}, err
 			}
 			var r armResult
 			r.ipc = res.TotalIPC()
@@ -130,6 +142,9 @@ func (o Options) FaultSweep() (Figure, error) {
 				float64(agg.emergencies) / n,
 			},
 		})
+	}
+	if err := o.emitTrace(sink); err != nil {
+		return Figure{}, err
 	}
 	fig.Notes = append(fig.Notes,
 		"per-arm means over the mix subset; loss = 1 - postIPC/preIPC across the first fault",

@@ -103,11 +103,20 @@ func (o Options) ServeSweep() (Figure, error) {
 		p99, reject, goodput float64
 		line                 string
 	}
+	sink := parallel.NewOrderedSink(len(cells))
 	out, err := parallel.Map(o.runner(), len(cells), func(i int) (cellResult, error) {
 		c := cells[i]
+		// Per-cell tracer: each cell is one simulation goroutine, so the
+		// tracer follows the same single-owner rule as the GPU itself.
+		tr, err := o.cellTracer()
+		if err != nil {
+			return cellResult{}, err
+		}
+		cellOpt := opt
+		cellOpt.Trace = tr
 		s, err := serve.New(serve.Config{
 			Sim: cfg,
-			Opt: opt,
+			Opt: cellOpt,
 			Arrivals: workload.ArrivalSpec{
 				Horizon:    horizon,
 				MeanGap:    int(100_000 / c.rate),
@@ -145,6 +154,9 @@ func (o Options) ServeSweep() (Figure, error) {
 		}
 		line := fmt.Sprintf("  serve %-12s rate=%-4g arrived=%d done=%d rej=%d preempt=%d lcMet=%d beMet=%d p99=%.2f goodput=%.3f\n",
 			c.pol, c.rate, rep.Arrived, rep.SLO.Completed, rep.Rejections, rep.Preemptions, lcMet, beMet, rep.SLO.P99, rep.SLO.Goodput)
+		if err := flushTraceTask(sink.Task(i), i, tr); err != nil {
+			return cellResult{}, err
+		}
 		return cellResult{
 			p99:     rep.SLO.P99,
 			reject:  rep.SLO.RejectRate,
@@ -153,6 +165,9 @@ func (o Options) ServeSweep() (Figure, error) {
 		}, nil
 	})
 	if err != nil {
+		return Figure{}, err
+	}
+	if err := o.emitTrace(sink); err != nil {
 		return Figure{}, err
 	}
 	for _, r := range out {

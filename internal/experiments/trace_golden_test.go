@@ -1,0 +1,136 @@
+package experiments
+
+// Golden determinism for the observability layer (ISSUE 4): tracing is
+// observation-only and deterministic. Three properties are pinned here:
+//
+//  1. Results are identical with tracing on or off — the tracer never feeds
+//     back into a simulation decision.
+//  2. The JSONL event stream is byte-identical serial vs parallel, healthy
+//     and under fault injection — per-cell tracers buffered through
+//     parallel.OrderedSink reassemble in cell order.
+//  3. The stream is well-formed: {"task":N} headers in ascending order and
+//     a summary line per cell, convertible to Chrome trace_event JSON.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ugpu/internal/trace"
+)
+
+// runTracedFaultSweep renders the FaultSweep figure with tracing enabled and
+// returns (figure text, JSONL bytes).
+func runTracedFaultSweep(t *testing.T, workers int, faultSpec string) (string, string) {
+	t.Helper()
+	o := tiny()
+	o.Parallel = workers
+	o.FaultSpec = faultSpec
+	o.FaultSeed = 7
+	o.Trace = true
+	var jsonl bytes.Buffer
+	o.TraceOut = &jsonl
+	f, err := o.FaultSweep()
+	if err != nil {
+		t.Fatalf("FaultSweep(workers=%d): %v", workers, err)
+	}
+	var out bytes.Buffer
+	f.Format(&out)
+	return out.String(), jsonl.String()
+}
+
+func TestGoldenTraceJSONLByteIdenticalSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	for _, tc := range []struct {
+		name, spec string
+	}{
+		{"healthy", ""},
+		{"faults", "sm=1,group=1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fig1, jsonl1 := runTracedFaultSweep(t, 1, tc.spec)
+			if len(jsonl1) == 0 {
+				t.Fatal("traced sweep produced no JSONL")
+			}
+			for _, workers := range []int{2, 8} {
+				figN, jsonlN := runTracedFaultSweep(t, workers, tc.spec)
+				if figN != fig1 {
+					t.Errorf("workers=%d: figure differs from serial", workers)
+				}
+				if jsonlN != jsonl1 {
+					t.Errorf("workers=%d: trace JSONL not byte-identical to serial", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestGoldenTraceObservationOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	render := func(traced bool) string {
+		o := tiny()
+		o.FaultSpec = "sm=1"
+		o.FaultSeed = 7
+		o.Trace = traced
+		f, err := o.FaultSweep()
+		if err != nil {
+			t.Fatalf("FaultSweep(traced=%v): %v", traced, err)
+		}
+		var out bytes.Buffer
+		f.Format(&out)
+		return out.String()
+	}
+	if on, off := render(true), render(false); on != off {
+		t.Errorf("tracing perturbed results:\ntraced:\n%s\nuntraced:\n%s", on, off)
+	}
+}
+
+func TestGoldenTraceStreamWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	_, jsonl := runTracedFaultSweep(t, 4, "sm=1")
+	// Task headers ascend 0..N-1 and every other line is valid JSON.
+	wantTask := 0
+	summaries := 0
+	for _, line := range strings.Split(strings.TrimRight(jsonl, "\n"), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if v, ok := m["task"]; ok && len(m) == 1 {
+			if int(v.(float64)) != wantTask {
+				t.Fatalf("task header %v, want %d", v, wantTask)
+			}
+			wantTask++
+		}
+		if _, ok := m["counters"]; ok {
+			summaries++
+		}
+	}
+	if wantTask == 0 {
+		t.Fatal("no task headers in trace stream")
+	}
+	if summaries != wantTask {
+		t.Fatalf("summary lines = %d, task headers = %d", summaries, wantTask)
+	}
+	// The stream converts cleanly to Chrome trace_event format.
+	var chrome bytes.Buffer
+	if err := trace.JSONLToChrome(&chrome, strings.NewReader(jsonl)); err != nil {
+		t.Fatalf("JSONLToChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ugpu/internal/trace"
 )
 
 // Kind enumerates the fault taxonomy.
@@ -222,6 +224,11 @@ type Injector struct {
 	nackRng splitmix64
 
 	counts Counts
+
+	// Trace tallies NoC drops (counter-only: the drop stream has no cycle
+	// context). nil disables. Discrete fault deliveries are traced by the
+	// GPU, which knows the delivery cycle.
+	Trace *trace.Tracer
 }
 
 // NewInjector plans a deterministic fault schedule from (seed, spec, geo).
@@ -389,6 +396,7 @@ func (inj *Injector) DropMessage() bool {
 	}
 	if inj.dropRng.float64v() < inj.dropP {
 		inj.counts.NoCDrops++
+		inj.Trace.Note(trace.KNoCDrop)
 		return true
 	}
 	return false

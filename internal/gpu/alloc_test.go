@@ -1,0 +1,53 @@
+package gpu
+
+// Steady-state allocation assertions (ISSUE 4). The simulation hot path has
+// been allocation-free since the pooling work (see bench_test.go); the
+// observability layer must not regress that, in either state:
+//
+//   - disabled (nil tracer): the emit sites cost one nil-check each and the
+//     hot path stays at exactly zero allocations per cycle;
+//   - enabled: the preallocated ring and fixed counter arrays absorb every
+//     event, so even a traced steady-state run allocates nothing.
+//
+// These run as tests (not benchmarks) so `make check` enforces them.
+
+import (
+	"testing"
+
+	"ugpu/internal/trace"
+)
+
+// steadyAllocs measures allocations per 10-cycle steady-state step after a
+// 20k-cycle warm-up (caches, pools, TLBs, freelists primed).
+func steadyAllocs(t *testing.T, tr *trace.Tracer) float64 {
+	t.Helper()
+	cfg := testConfig()
+	opt := DefaultOptions()
+	opt.FootprintScale = 64
+	opt.Trace = tr
+	g, err := New(cfg, []AppSpec{
+		{Bench: bench(t, "LBM"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "DXTC"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(20_000)
+	return testing.AllocsPerRun(200, func() { g.Run(10) })
+}
+
+func TestSteadyStateZeroAllocTracerDisabled(t *testing.T) {
+	if got := steadyAllocs(t, nil); got != 0 {
+		t.Errorf("disabled tracer: %.1f allocs per steady-state step, want 0", got)
+	}
+}
+
+func TestSteadyStateZeroAllocTracerEnabled(t *testing.T) {
+	tr := trace.New(1 << 12) // small ring: wrap-around must not allocate either
+	if got := steadyAllocs(t, tr); got != 0 {
+		t.Errorf("enabled tracer: %.1f allocs per steady-state step, want 0", got)
+	}
+	if tr.Len() == 0 && tr.Overwritten() == 0 {
+		t.Error("enabled tracer recorded nothing over a 20k-cycle run")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"ugpu/internal/tlb"
+	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 
 	smpkg "ugpu/internal/sm"
@@ -136,6 +137,7 @@ func (g *GPU) AttachApp(cycle uint64, spec AppSpec, seedTag uint64) (int, error)
 	for vpn := uint64(0); vpn < app.Disp.FootprintPages(); vpn++ {
 		g.vmm.HandleFault(id, vpn)
 	}
+	g.tr.Emit(trace.KAttach, cycle, int32(id), 0, int64(spec.SMs), int64(len(groups)), int64(seedTag))
 	for _, smID := range free[:spec.SMs] {
 		app.SMs = append(app.SMs, smID)
 		// The idle SM's L1 may hold lines of frames recycled from a departed
@@ -159,6 +161,7 @@ func (g *GPU) BeginDetach(cycle uint64, id int) error {
 		return fmt.Errorf("gpu: detach of app %d in state %d", id, app.state)
 	}
 	app.state = appDetaching
+	g.tr.Emit(trace.KDetachBegin, cycle, int32(id), 0, 0, 0, 0)
 	// Stop attracting migrations toward this tenant's groups.
 	g.vmm.SetRebalancing(id, false)
 	// The departing context is saved over the tenant's own channels.
@@ -176,9 +179,9 @@ func (g *GPU) BeginDetach(cycle uint64, id int) error {
 
 // refsApp reports whether anything in flight still references the app:
 // memory requests between NoC/LLC/DRAM, merged translations, page-table
-// walks, queued or active migrations, parked replays, or SMs still draining
-// toward the slot. While any of these hold, the tenant's pages must stay
-// mapped.
+// walks, queued or active migrations, parked replays, SMs still draining
+// toward the slot, or SMs still draining *away* from it. While any of these
+// hold, the tenant's pages must stay mapped.
 func (g *GPU) refsApp(id int) bool {
 	if g.memInFlight[id] != 0 {
 		return true
@@ -186,6 +189,18 @@ func (g *GPU) refsApp(id int) bool {
 	app := g.apps[id]
 	if len(app.SMs) != 0 || app.inbound != 0 {
 		return true
+	}
+	// Bugfix (ISSUE 4): an SM draining away from this app (MoveSMs removed it
+	// from app.SMs and charged it to the destination's inbound count) still
+	// executes the app's resident warps until its TBs finish — it keeps
+	// issuing the app's loads. The counters above all miss it: memInFlight
+	// can be transiently zero between issues, and the SM belongs to *no*
+	// app's list mid-drain. Freeing the tenant's pages under it is a
+	// use-after-free (loads resolve against unmapped or re-allocated frames).
+	for _, s := range g.sms {
+		if s.AppID() == id && s.State() != smpkg.Idle {
+			return true
+		}
 	}
 	for key := range g.transPending {
 		if tlb.AppOf(key) == id {
@@ -239,6 +254,7 @@ func (g *GPU) FinishDetach(cycle uint64, id int) bool {
 	g.transVersion++
 	app.Groups = app.Groups[:0]
 	app.state = appVacant
+	g.tr.Emit(trace.KDetachDone, cycle, int32(id), 0, 0, 0, 0)
 	return true
 }
 

@@ -12,10 +12,13 @@ package gpu
 import (
 	"testing"
 
+	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 )
 
-func benchGPU(b *testing.B) *GPU {
+func benchGPU(b *testing.B) *GPU { return benchGPUTraced(b, nil) }
+
+func benchGPUTraced(b *testing.B, tr *trace.Tracer) *GPU {
 	b.Helper()
 	cfg := testConfig()
 	lbm, err := workload.ByAbbr("LBM")
@@ -28,6 +31,7 @@ func benchGPU(b *testing.B) *GPU {
 	}
 	opt := DefaultOptions()
 	opt.FootprintScale = 64
+	opt.Trace = tr
 	g, err := New(cfg, []AppSpec{
 		{Bench: lbm, SMs: 40, Groups: []int{0, 1, 2, 3}},
 		{Bench: dxtc, SMs: 40, Groups: []int{4, 5, 6, 7}},
@@ -59,6 +63,18 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkSteadyStateCycles(b *testing.B) {
 	g := benchGPU(b)
 	g.Run(20_000) // warm caches, pools, and TLBs
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(uint64(b.N))
+}
+
+// BenchmarkSteadyStateCyclesTraced is BenchmarkSteadyStateCycles with an
+// enabled (unfiltered) tracer attached; comparing ns/op against the
+// untraced benchmark gives the recorded tracing overhead (EXPERIMENTS.md).
+// alloc_test.go asserts both variants stay at zero allocs per cycle.
+func BenchmarkSteadyStateCyclesTraced(b *testing.B) {
+	g := benchGPUTraced(b, trace.New(1<<15))
+	g.Run(20_000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	g.Run(uint64(b.N))

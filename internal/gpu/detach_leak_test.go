@@ -1,0 +1,184 @@
+package gpu
+
+// Regression tests for the ISSUE 4 bugfix sweep of the detach quiescence
+// path: (1) an SM draining *away* from a tenant kept executing its warps
+// while refsApp reported the tenant quiesced — FinishDetach could free the
+// pages under live loads; (2) failGroup's repair re-armed the channel-list
+// rebalancing register of a *detaching* tenant, re-attracting migrations
+// BeginDetach had deliberately disarmed.
+
+import (
+	"testing"
+
+	smpkg "ugpu/internal/sm"
+	"ugpu/internal/trace"
+)
+
+// forceDrainAway starts one of app from's SMs draining toward app to,
+// exactly as MoveSMs' drain arm does. The test forces the drain path
+// directly because TB-duration estimates stay 0 over short warm-ups
+// (MoveSMs would context-switch, which parks the SM without issuing), while
+// the hazard under test needs an SM that keeps executing the old tenant's
+// warps after leaving its SM list.
+func forceDrainAway(g *GPU, fromID, toID int) int {
+	from, to := g.apps[fromID], g.apps[toID]
+	id := from.SMs[len(from.SMs)-1]
+	from.SMs = from.SMs[:len(from.SMs)-1]
+	to.inbound++
+	g.reconfigSMs++
+	g.pendingMoveTo[id] = to
+	g.sms[id].BeginDrain(g.Cycle(), func(c uint64, freed *smpkg.SM) {
+		g.reconfigSMs--
+		to.inbound--
+		delete(g.pendingMoveTo, freed.ID)
+		if to.state != appActive {
+			return
+		}
+		to.SMs = append(to.SMs, freed.ID)
+		freed.Assign(c, to.smApp)
+	})
+	return id
+}
+
+// TestDetachDrainAwaySMBlocksQuiescence reproduces the leaked in-flight
+// reference: with an SM mid-drain away from app 0 (still running app 0's
+// warps, no longer in app 0's SM list), BeginDetach(0) must NOT be allowed
+// to finish while that SM executes — its loads resolve against the
+// tenant's pages, and freeing them is a use-after-free. Before the refsApp
+// fix, FinishDetach succeeded at the first boundary where memInFlight was
+// transiently zero.
+//
+// The drain is forced at cycle 0, before any Run: Assign fills the SM's TB
+// slots at assignment time, so the drain-away SM already holds app 0's
+// resident warps, while every counter refsApp consults (memInFlight,
+// transPending, walker, migrations, replays) is still zero — exactly the
+// transient-zero window that let the pre-fix FinishDetach free live pages.
+// Later boundaries mask the bug here: whenever memInFlight dips to zero
+// mid-drain, outstanding translations still block the old predicate.
+func TestDetachDrainAwaySMBlocksQuiescence(t *testing.T) {
+	tr := trace.New(1 << 14)
+	opt := testOptions()
+	opt.Trace = tr
+	g, err := New(testConfig(), []AppSpec{
+		{Bench: bench(t, "PVC"), SMs: 4, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "DXTC"), SMs: 4, Groups: []int{4, 5, 6, 7}},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	smID := forceDrainAway(g, 0, 1)
+	if got := g.sms[smID].State(); got != smpkg.Draining {
+		t.Fatalf("forced SM state = %s, want draining", got)
+	}
+	if err := g.BeginDetach(g.Cycle(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(trace.KDetachBegin) != 1 {
+		t.Fatalf("detach-begin events = %d, want 1", tr.Count(trace.KDetachBegin))
+	}
+
+	// The deterministic hazard window: nothing is in flight yet, only the
+	// drain-away SM's resident warps reference the tenant.
+	if g.MemInFlight(0) != 0 {
+		t.Fatalf("memInFlight = %d at cycle 0, want 0 (hazard window gone)", g.MemInFlight(0))
+	}
+	if g.FinishDetach(g.Cycle(), 0) {
+		t.Fatalf("FinishDetach freed app 0's pages while SM %d still holds its resident warps", smID)
+	}
+
+	// Step cycle by cycle, probing quiescence at every boundary. While the
+	// drain-away SM still runs app 0's warps, FinishDetach must refuse.
+	for i := 0; i < 30_000; i++ {
+		stillRunning := g.sms[smID].AppID() == 0 && g.sms[smID].State() == smpkg.Draining
+		if !stillRunning {
+			break // TBs finished; drain landed on app 1
+		}
+		if g.FinishDetach(g.Cycle(), 0) {
+			t.Fatalf("cycle %d: FinishDetach freed app 0's pages while SM %d still drains its warps (memInFlight=%d)",
+				g.Cycle(), smID, g.MemInFlight(0))
+		}
+		g.Run(1)
+	}
+
+	// Let the machine quiesce for real: release the draining SM with
+	// context-switch semantics and unwind the controller bookkeeping (as
+	// failSM does for an SM that dies mid-move), then drain to vacancy.
+	if g.sms[smID].State() == smpkg.Draining {
+		g.sms[smID].Release(g.Cycle())
+		g.apps[1].inbound--
+		g.reconfigSMs--
+		delete(g.pendingMoveTo, smID)
+	}
+	for i := 0; i < 200 && !g.FinishDetach(g.Cycle(), 0); i++ {
+		g.Run(5_000)
+	}
+	if !g.Apps()[0].Vacant() {
+		t.Fatalf("app 0 never quiesced: %s", g.TakeSnapshot())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after detach: %v", err)
+	}
+	if tr.Count(trace.KDetachDone) != 1 {
+		t.Fatalf("detach-done events = %d, want 1", tr.Count(trace.KDetachDone))
+	}
+	// The trace pins the ordering: detach-done must be the last lifecycle
+	// event for app 0 — nothing may execute or migrate on its behalf after.
+	var doneCycle uint64
+	for _, e := range tr.Events() {
+		if e.Kind == trace.KDetachDone && e.App == 0 {
+			doneCycle = e.Cycle
+		}
+	}
+	for _, e := range tr.Events() {
+		if e.App == 0 && e.Cycle > doneCycle &&
+			(e.Kind.CategoryOf() == trace.CatMigration || e.Kind == trace.KSMAssign) {
+			t.Fatalf("app 0 event %s at cycle %d after detach-done at %d", e.Kind, e.Cycle, doneCycle)
+		}
+	}
+}
+
+// TestFailGroupKeepsDetachingRebalanceDisarmed: a group failure striking a
+// detaching tenant's last group donates a replacement (pages must remain
+// addressable until quiescence), but must not re-arm the rebalancing
+// register BeginDetach disarmed — a departing tenant re-attracting inbound
+// migrations delays its own quiescence indefinitely under churn.
+func TestFailGroupKeepsDetachingRebalanceDisarmed(t *testing.T) {
+	g, err := New(testConfig(), []AppSpec{
+		{Bench: bench(t, "PVC"), SMs: 4, Groups: []int{0}},
+		{Bench: bench(t, "DXTC"), SMs: 4, Groups: []int{1, 2, 3, 4, 5, 6, 7}},
+	}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(5_000)
+
+	// Sanity leg: the same repair on an *active* tenant DOES arm rebalancing
+	// (the fix must be detach-specific, not a blanket suppression). Killing
+	// app 0's only group forces grantGroup to donate one, a gained group.
+	g.failGroup(g.Cycle(), 0)
+	if len(g.apps[0].Groups) == 0 {
+		t.Fatal("repair left active app 0 with no live group")
+	}
+	if !g.vmm.Rebalancing(0) {
+		t.Fatal("failGroup repair on an active tenant did not arm rebalancing")
+	}
+
+	if err := g.BeginDetach(g.Cycle(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.vmm.Rebalancing(0) {
+		t.Fatal("BeginDetach left rebalancing armed")
+	}
+
+	// Kill the detaching tenant's (donated) only group: repair must donate
+	// another live group (its stranded pages still need a home) without
+	// re-arming rebalancing.
+	g.failGroup(g.Cycle(), g.apps[0].Groups[0])
+	if len(g.apps[0].Groups) == 0 {
+		t.Fatal("repair left detaching app 0 with no live group")
+	}
+	if g.vmm.Rebalancing(0) {
+		t.Fatal("failGroup repair re-armed rebalancing on a detaching tenant")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"ugpu/internal/fault"
+	"ugpu/internal/trace"
 )
 
 // applyFaults delivers every planned fault due at this cycle.
@@ -26,6 +27,8 @@ func (g *GPU) applyFaults(cycle uint64) {
 		if g.firstFaultCycle == 0 {
 			g.firstFaultCycle = cycle
 		}
+		g.tr.Emit(trace.KFaultInject, cycle, -1, int32(ev.Unit),
+			int64(ev.Kind), int64(ev.Aux), int64(ev.Duration))
 		switch ev.Kind {
 		case fault.SMFail:
 			g.failSM(cycle, ev.Unit)
@@ -99,6 +102,7 @@ func (g *GPU) grantSM(cycle uint64, to *App) {
 	if donor < 0 {
 		return // nothing to donate; the epoch policy may still recover
 	}
+	g.tr.Emit(trace.KFaultRepair, cycle, int32(to.ID), int32(donor), 0, 0, 0)
 	_ = g.MoveSMs(cycle, donor, to.ID, 1)
 }
 
@@ -161,6 +165,15 @@ func (g *GPU) failGroup(cycle uint64, grp int) {
 		}
 		// SetGroups flushes the TLB/cache state and arms rebalancing.
 		_ = g.SetGroups(cycle, app.ID, newGroups)
+		if app.state != appActive {
+			// Bugfix: SetGroups arms rebalancing whenever the set gains a
+			// group, but a detaching tenant must never attract inbound
+			// migrations again — BeginDetach disarmed it on purpose. Re-arming
+			// here would keep pulling the departing tenant's pages toward its
+			// (soon-to-be-freed) groups and delay quiescence indefinitely
+			// under churn.
+			g.vmm.SetRebalancing(app.ID, false)
+		}
 	}
 
 	// Emergency evacuation: every page still resident on the dead group (any
@@ -174,6 +187,7 @@ func (g *GPU) failGroup(cycle uint64, grp int) {
 			}
 			g.migInFlight[k] = true
 			g.faultStats.EmergencyMigrations++
+			g.tr.Emit(trace.KMigEvacuate, cycle, int32(app.ID), int32(grp), int64(vpn), 0, 0)
 			g.migQueue = append(g.migQueue, migJobReq{app: app.ID, vpn: vpn})
 		}
 	}
@@ -197,6 +211,7 @@ func (g *GPU) grantGroup(cycle uint64, to *App) (int, bool) {
 	}
 	d := g.apps[donor]
 	donated := d.Groups[len(d.Groups)-1]
+	g.tr.Emit(trace.KFaultRepair, cycle, int32(to.ID), int32(donor), 1, 0, 0)
 	_ = g.SetGroups(cycle, donor, d.Groups[:len(d.Groups)-1])
 	return donated, true
 }

@@ -23,6 +23,7 @@ import (
 	"ugpu/internal/noc"
 	"ugpu/internal/sm"
 	"ugpu/internal/tlb"
+	"ugpu/internal/trace"
 	"ugpu/internal/vm"
 	"ugpu/internal/workload"
 )
@@ -56,6 +57,11 @@ type Options struct {
 	// FaultSeed seeds the fault injector's schedule and probabilistic
 	// streams. 0 falls back to the config seed.
 	FaultSeed int64
+	// Trace receives structured events from every decision point (epoch,
+	// migration lifecycle, faults, SM/tenant lifecycle, watchdog). nil
+	// disables tracing at one-branch cost per emit point; tracing is
+	// observation-only and never changes simulated results.
+	Trace *trace.Tracer
 }
 
 // DefaultOptions returns the UGPU-with-PageMove configuration: fault-driven
@@ -183,6 +189,7 @@ type GPU struct {
 	cfg    config.Config
 	opt    Options
 	mapper *addr.CustomMapper
+	tr     *trace.Tracer // nil = tracing disabled
 
 	sms     []*sm.SM
 	smL1    []*cache.Cache
@@ -356,6 +363,7 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 		cfg:           cfg,
 		opt:           opt,
 		mapper:        mapper,
+		tr:            opt.Trace,
 		sms:           make([]*sm.SM, cfg.NumSMs),
 		smL1:          make([]*cache.Cache, cfg.NumSMs),
 		smMSHR:        make([]*cache.MSHR, cfg.NumSMs),
@@ -391,6 +399,7 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 			BanksPerGroup: cfg.BanksPerGroup,
 			Horizon:       uint64(cfg.MaxCycles),
 		})
+		g.inj.Trace = g.tr
 		g.hbm.MigNACK = g.inj.NACKMigration
 		if opt.Faults.NoCDrop > 0 {
 			drop := func(src, dst int) bool { return g.inj.DropMessage() }
@@ -413,8 +422,10 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 	g.onWalkDone = func(done uint64, key uint64) {
 		g.walkDone(done, tlb.AppOf(key), key>>4)
 	}
+	g.hbm.Trace = g.tr
 	for i := range g.sms {
 		g.sms[i] = sm.New(i, cfg.TBsPerSM(), cfg.WarpsPerTB, cfg.SchedulersPerSM)
+		g.sms[i].Trace = g.tr
 		g.smL1[i] = cache.New(cfg.L1Sets, cfg.L1Ways, cfg.L1LineBytes)
 		g.smMSHR[i] = cache.NewMSHR(cfg.L1MSHRs, 0)
 		g.smL1TLB[i] = tlb.NewFullyAssociative(cfg.L1TLBEntries)
@@ -473,6 +484,10 @@ func (g *GPU) SM(i int) *sm.SM { return g.sms[i] }
 
 // Cycle reports the current simulation cycle.
 func (g *GPU) Cycle() uint64 { return g.cycle }
+
+// Tracer returns the structured-event tracer (nil when tracing is disabled;
+// the nil tracer is safe to emit on).
+func (g *GPU) Tracer() *trace.Tracer { return g.tr }
 
 // Totals returns whole-run aggregate counters.
 func (g *GPU) Totals() Totals { return g.stats }

@@ -10,6 +10,7 @@ import (
 	"ugpu/internal/dram"
 	"ugpu/internal/sm"
 	"ugpu/internal/tlb"
+	"ugpu/internal/trace"
 )
 
 // newMemReq pops a request from the GPU's freelist (refilled in l1Fill,
@@ -459,10 +460,12 @@ func (g *GPU) startQueuedMigrations(at uint64) {
 		}
 		g.migActive++
 		attempts := req.attempts
+		g.tr.Emit(trace.KMigBegin, at, int32(appID), 0, int64(vpn), int64(attempts), 0)
 		err := g.hbm.StartMigrationChecked(at, mig.Src, mig.Dst, g.opt.MigrationMode, appID,
 			func(done uint64) {
 				mig.Commit()
 				g.migActive--
+				g.tr.Emit(trace.KMigCommit, done, int32(appID), 0, int64(vpn), 0, 0)
 				g.completeMigration(done, appID, vpn)
 				g.evacuateIfDead(done, appID, vpn)
 				g.startQueuedMigrations(done)
@@ -471,9 +474,11 @@ func (g *GPU) startQueuedMigrations(at uint64) {
 				mig.Abort()
 				g.migActive--
 				g.faultStats.MigFailures++
+				g.tr.Emit(trace.KMigFail, done, int32(appID), 0, int64(vpn), int64(attempts)+1, 0)
 				if attempts+1 < maxMigrationAttempts {
 					g.faultStats.MigRetries++
 					backoff := uint64(g.cfg.DriverDelay) << (attempts + 1)
+					g.tr.Emit(trace.KMigRetry, done, int32(appID), 0, int64(vpn), int64(attempts)+1, int64(backoff))
 					g.wheel.schedule(done, done+backoff, func(c uint64) {
 						// Retries jump the queue: the page has already waited a
 						// full attempt plus backoff, and re-queueing at the tail
@@ -511,6 +516,7 @@ func (g *GPU) evacuateIfDead(at uint64, appID int, vpn uint64) {
 	}
 	g.migInFlight[k] = true
 	g.faultStats.EmergencyMigrations++
+	g.tr.Emit(trace.KMigEvacuate, at, int32(appID), int32(g.mapper.ChannelGroup(pa)), int64(vpn), 0, 0)
 	g.migQueue = append(g.migQueue, migJobReq{app: appID, vpn: vpn})
 }
 
@@ -520,6 +526,7 @@ func (g *GPU) evacuateIfDead(at uint64, appID int, vpn uint64) {
 // the stalled translation resolves.
 func (g *GPU) spillRemap(at uint64, appID int, vpn uint64) {
 	g.faultStats.SpillRemaps++
+	g.tr.Emit(trace.KMigSpill, at, int32(appID), 0, int64(vpn), 0, 0)
 	g.wheel.schedule(at, at+uint64(g.cfg.PageFaultDelay), func(c uint64) {
 		g.vmm.RemapPage(appID, vpn)
 		g.completeMigration(c, appID, vpn)

@@ -10,6 +10,7 @@ import (
 
 	"ugpu/internal/dram"
 	smpkg "ugpu/internal/sm"
+	"ugpu/internal/trace"
 )
 
 // contextBytes is the per-SM context (register file + shared memory) saved
@@ -53,9 +54,11 @@ func (g *GPU) MoveSMs(cycle uint64, fromID, toID, n int) error {
 			freed.Assign(c, to.smApp)
 		}
 		if est := s.TBDurationEstimate(); est > 0 && est < float64(g.cfg.EpochCycles)/2 {
+			g.tr.Emit(trace.KSMDrain, cycle, int32(fromID), int32(id), int64(toID), 0, 0)
 			s.BeginDrain(cycle, handoff)
 		} else {
 			ready := cycle + g.switchCost(from)
+			g.tr.Emit(trace.KSMSwitch, cycle, int32(fromID), int32(id), int64(toID), int64(ready), 0)
 			g.injectContextTraffic(cycle, from)
 			s.BeginSwitch(cycle, ready, handoff)
 		}
@@ -138,6 +141,11 @@ func (g *GPU) SetGroups(cycle uint64, appID int, groups []int) error {
 	}
 	app.Groups = append(app.Groups[:0], groups...)
 	sort.Ints(app.Groups)
+	detaching := int64(0)
+	if app.state != appActive {
+		detaching = 1
+	}
+	g.tr.Emit(trace.KSetGroups, cycle, int32(appID), 0, int64(len(app.Groups)), b2i(gained), detaching)
 	g.vmm.SetGroups(appID, app.Groups)
 	if gained {
 		// Section 4.4: the channel-list register drives fault-driven
@@ -163,6 +171,13 @@ func (g *GPU) SetGroups(cycle uint64, appID int, groups []int) error {
 	}
 	g.transVersion++
 	return nil
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 func equalGroups(a, b []int) bool {

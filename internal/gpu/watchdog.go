@@ -10,6 +10,9 @@ package gpu
 import (
 	"fmt"
 	"strings"
+
+	"ugpu/internal/tlb"
+	"ugpu/internal/trace"
 )
 
 // Snapshot is a structured diagnostic of the simulator's in-flight state,
@@ -155,10 +158,24 @@ func (g *GPU) RunChecked(n uint64) error {
 			g.tick()
 		}
 		cur := g.progressFingerprint()
+		if step == hb && g.tr.Enabled() {
+			// Snapshot only when tracing: TakeSnapshot is read-only but not
+			// free, and the disabled path must stay zero-cost.
+			snap := g.TakeSnapshot()
+			progressed := int64(0)
+			if cur != g.lastFingerprint {
+				progressed = 1
+			}
+			g.tr.Emit(trace.KWatchdogWindow, g.cycle, -1, 0,
+				progressed, int64(snap.ResidentWarps), int64(snap.OutstandingLoads))
+		}
 		// Only a full window with a frozen fingerprint and outstanding work
 		// is a stall; partial windows at the end of a slice are skipped.
 		if step == hb && cur == g.lastFingerprint && g.lastProgressAt > 0 && g.outstandingWork() {
-			return &StallError{Cycle: g.cycle, Window: hb, Snap: g.TakeSnapshot()}
+			snap := g.TakeSnapshot()
+			g.tr.Emit(trace.KWatchdogStall, g.cycle, -1, 0,
+				int64(snap.OutstandingLoads), int64(snap.MigActive+snap.MigQueued), int64(snap.TransPending))
+			return &StallError{Cycle: g.cycle, Window: hb, Snap: snap}
 		}
 		if cur != g.lastFingerprint {
 			g.lastProgressAt = g.cycle
@@ -261,6 +278,30 @@ func (g *GPU) CheckInvariants() error {
 		}
 		if n := g.vmm.PageCount(app.ID); n != 0 {
 			return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d still holds %d pages", app.ID, n)}
+		}
+		// Strengthened with ISSUE 4's detach-leak audit: a vacant slot must
+		// also have no queued/in-flight migrations, no merged translations,
+		// and no SM still executing on its behalf (the drain-away hole
+		// refsApp now closes).
+		for key := range g.migInFlight {
+			if tlb.AppOf(key) == app.ID {
+				return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d has a migration in flight (key %#x)", app.ID, key)}
+			}
+		}
+		for _, job := range g.migQueue {
+			if job.app == app.ID {
+				return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d has a queued migration (vpn %#x)", app.ID, job.vpn)}
+			}
+		}
+		for key := range g.transPending {
+			if tlb.AppOf(key) == app.ID {
+				return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d has a pending merged translation (key %#x)", app.ID, key)}
+			}
+		}
+		for _, s := range g.sms {
+			if s.AppID() == app.ID {
+				return &InvariantError{"vacant-slot", fmt.Sprintf("vacant app %d still bound to SM %d (state %s)", app.ID, s.ID, s.State())}
+			}
 		}
 	}
 	return nil

@@ -15,11 +15,25 @@ import (
 // Percentile returns the p-th percentile (0 <= p <= 100) of values using
 // linear interpolation between closest ranks. The input is not modified; an
 // empty input yields 0. A single sample is every percentile of itself.
+//
+// NaN is handled defensively at both ends (bugfix, ISSUE 4): a NaN p fails
+// every comparison below, so int(rank) on the pre-fix path converted NaN to
+// a negative "indefinite" integer and indexed out of range; NaN samples make
+// sort.Float64s order-inconsistent, which silently corrupts the closest-rank
+// interpolation. NaN p yields 0 and NaN samples are dropped before ranking.
 func Percentile(values []float64, p float64) float64 {
-	if len(values) == 0 {
+	if p != p { // NaN percentile: no meaningful rank
 		return 0
 	}
-	sorted := append([]float64(nil), values...)
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		if v == v { // drop NaN samples
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

@@ -29,6 +29,15 @@ func TestPercentile(t *testing.T) {
 		{"even p25", even, 25, 1.75},
 		{"clamp below", even, -10, 1},
 		{"clamp above", even, 110, 4},
+		// Bugfix (ISSUE 4): NaN p slipped every clamp (all comparisons are
+		// false for NaN), int(NaN*...) produced a negative index, and the
+		// closest-rank lookup panicked. NaN asks for no meaningful rank.
+		{"NaN percentile", even, math.NaN(), 0},
+		// Bugfix (ISSUE 4): NaN samples make sort.Float64s inconsistent and
+		// poison interpolation; they are dropped before ranking.
+		{"NaN values dropped/median", []float64{math.NaN(), 1, 2, math.NaN(), 3}, 50, 2},
+		{"NaN values dropped/p100", []float64{math.NaN(), 1, 2, math.NaN(), 3}, 100, 3},
+		{"all-NaN input", []float64{math.NaN(), math.NaN()}, 50, 0},
 	}
 	for _, c := range cases {
 		if got := Percentile(c.in, c.p); !approx(got, c.want) {

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"bytes"
+	"io"
+)
+
+// OrderedSink collects per-task byte streams and replays them in task-index
+// order, independent of completion order. It is the output-side half of the
+// determinism contract: a sweep that writes task i's bytes only through
+// Task(i) produces byte-identical concatenated output at any worker count,
+// including 1.
+//
+// Concurrency follows the pool's ownership rule: each task writes only to
+// its own index, and indices are distinct per task, so no locking is needed.
+// WriteTo must not be called until the sweep has completed.
+type OrderedSink struct {
+	bufs []bytes.Buffer
+}
+
+// NewOrderedSink returns a sink for n tasks.
+func NewOrderedSink(n int) *OrderedSink {
+	return &OrderedSink{bufs: make([]bytes.Buffer, n)}
+}
+
+// Task returns task i's private writer. A nil sink returns io.Discard, so
+// call sites can thread an optional sink without branching.
+func (s *OrderedSink) Task(i int) io.Writer {
+	if s == nil {
+		return io.Discard
+	}
+	return &s.bufs[i]
+}
+
+// Len returns the total buffered byte count across all tasks.
+func (s *OrderedSink) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i := range s.bufs {
+		n += s.bufs[i].Len()
+	}
+	return n
+}
+
+// WriteTo concatenates every task's bytes in index order. It implements
+// io.WriterTo. A nil sink writes nothing.
+func (s *OrderedSink) WriteTo(w io.Writer) (int64, error) {
+	if s == nil {
+		return 0, nil
+	}
+	var total int64
+	for i := range s.bufs {
+		n, err := w.Write(s.bufs[i].Bytes())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// runSinkSweep runs n tasks over the given worker count, each writing a
+// deterministic multi-line payload to its own sink index, and returns the
+// concatenated bytes.
+func runSinkSweep(t *testing.T, n, workers int) []byte {
+	t.Helper()
+	sink := NewOrderedSink(n)
+	err := New(workers).ForEach(n, func(i int) error {
+		w := sink.Task(i)
+		fmt.Fprintf(w, "{\"task\":%d}\n", i)
+		for j := 0; j < 5; j++ {
+			fmt.Fprintf(w, "{\"cycle\":%d,\"kind\":\"probe\"}\n", i*100+j)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := sink.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestOrderedSinkByteIdentical: the concatenated output is byte-identical
+// at any worker count — the sink reorders completion-order writes back into
+// task-index order.
+func TestOrderedSinkByteIdentical(t *testing.T) {
+	serial := runSinkSweep(t, 16, 1)
+	if len(serial) == 0 {
+		t.Fatal("serial sweep produced no bytes")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := runSinkSweep(t, 16, workers)
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("workers=%d: output differs from serial run", workers)
+		}
+	}
+}
+
+// TestOrderedSinkNil: a nil sink is a no-op writer so optional tracing can
+// thread through call sites unconditionally.
+func TestOrderedSinkNil(t *testing.T) {
+	var s *OrderedSink
+	if _, err := fmt.Fprint(s.Task(3), "dropped"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("nil sink reported buffered bytes")
+	}
+	var out bytes.Buffer
+	n, err := s.WriteTo(&out)
+	if err != nil || n != 0 || out.Len() != 0 {
+		t.Fatalf("nil sink WriteTo = (%d, %v), buffered %d bytes", n, err, out.Len())
+	}
+}

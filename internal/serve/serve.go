@@ -22,6 +22,7 @@ import (
 	"ugpu/internal/config"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
+	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 )
 
@@ -239,6 +240,8 @@ func (s *Server) boundary(cycle int) error {
 		js.served += stats[slot].Instructions
 		if js.served >= js.work {
 			js.finish = cycle
+			s.g.Tracer().Emit(trace.KJobDone, uint64(cycle), int32(slot), int32(js.job.ID),
+				int64(js.served), int64(js.finish-js.job.Arrival), 0)
 			if err := s.detach(cycle, slot); err != nil {
 				return err
 			}
@@ -264,6 +267,8 @@ func (s *Server) boundary(cycle int) error {
 		default:
 			js.rejected = true
 			s.rejections++
+			s.g.Tracer().Emit(trace.KReject, uint64(cycle), -1, int32(js.job.ID),
+				int64(js.job.Class), 0, 0)
 		}
 	}
 
@@ -329,11 +334,18 @@ func (s *Server) preemptOneBE(cycle int) bool {
 		return false
 	}
 	js := s.resident[victim]
-	js.preempts++
-	s.preemptions++
 	if err := s.g.BeginDetach(uint64(cycle), victim); err != nil {
 		return false
 	}
+	// Bugfix (ISSUE 4): count the preemption only after BeginDetach
+	// succeeds. The old order incremented first and left the counters
+	// inflated on a failed detach — a job that was never actually evicted
+	// (and is later preempted for real, or re-admitted) would be
+	// double-counted in both js.preempts and the report's preemption rate.
+	js.preempts++
+	s.preemptions++
+	s.g.Tracer().Emit(trace.KPreempt, uint64(cycle), int32(victim), int32(js.job.ID),
+		int64(js.preempts), 0, 0)
 	s.resident[victim] = nil
 	s.detaches++
 	s.beQ = append([]*jobState{js}, s.beQ...)
@@ -605,6 +617,8 @@ func (s *Server) admit(cycle int, js *jobState) error {
 	}
 	s.resident[slot] = js
 	s.attaches++
+	s.g.Tracer().Emit(trace.KAdmit, uint64(cycle), int32(slot), int32(js.job.ID),
+		int64(js.job.Class), int64(want), int64(cycle-js.job.Arrival))
 	return nil
 }
 

@@ -278,3 +278,91 @@ func TestSplitGroups(t *testing.T) {
 		t.Fatalf("splitGroups = %v, want %v", got, want)
 	}
 }
+
+// TestServeOverloadCounterCoherence is the ISSUE 4 regression test for the
+// preemption accounting: under a seeded overload (arrival rate well past
+// capacity, tight queues), jobs are preempted and later readmitted, and every
+// counter must stay coherent — no preempted-then-readmitted job may be
+// double-counted in the per-job or global tallies. The invariants checked:
+//
+//	preemptions  == Σ per-job preempts      (global mirrors per-job exactly)
+//	detaches     == preemptions + completed (each eviction/completion once)
+//	attaches     == started + readmissions, readmissions <= preemptions
+//	attaches - detaches == tenants still resident at the horizon
+//
+// Before the fix, the preemption counters were bumped before BeginDetach was
+// known to succeed, so a failed eviction inflated both tallies and broke the
+// first two identities.
+func TestServeOverloadCounterCoherence(t *testing.T) {
+	cfg := testSim()
+	cfg.MaxCycles = 150_000
+	// BE-heavy stream on a two-slot machine: long best-effort jobs occupy
+	// both slots, latency-critical arrivals preempt them, the evicted jobs
+	// readmit after the LC burst drains, and the tight queues reject the
+	// excess. Seed 6 deterministically produces all three event kinds.
+	c := Config{
+		Sim: cfg, Opt: testOpt(), Policy: ClassAware, Seed: 6,
+		MaxResident: 2, QueueCap: 2,
+		Alone: primedAlone(cfg, testOpt()),
+		Arrivals: workload.ArrivalSpec{
+			Horizon: 100_000, MeanGap: 4_000, LCFraction: 0.3,
+			MinLen: 20_000, MaxLen: 40_000,
+			Benchmarks: []workload.Benchmark{mustBench(t, "DXTC"), mustBench(t, "PVC")},
+		},
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The schedule must actually overload the machine, or the invariants
+	// below are vacuous.
+	if rep.Preemptions == 0 {
+		t.Fatalf("overload schedule produced no preemptions: %+v", rep)
+	}
+	if rep.Rejections == 0 {
+		t.Fatalf("overload schedule produced no rejections: %+v", rep)
+	}
+
+	if len(rep.Outcomes) != rep.Arrived {
+		t.Fatalf("outcomes = %d, arrivals = %d: jobs duplicated or dropped", len(rep.Outcomes), rep.Arrived)
+	}
+	perJob, started, completed := 0, 0, 0
+	for i, oc := range rep.Outcomes {
+		perJob += oc.Preemptions
+		if oc.Start >= 0 {
+			started++
+		}
+		if oc.Completed() {
+			completed++
+		}
+		if oc.Rejected && (oc.Start >= 0 || oc.Completed()) {
+			t.Fatalf("job %d both rejected and admitted: %+v", i, oc)
+		}
+	}
+	if perJob != rep.Preemptions {
+		t.Fatalf("per-job preempts sum %d != global preemptions %d", perJob, rep.Preemptions)
+	}
+	if rep.Detaches != rep.Preemptions+completed {
+		t.Fatalf("detaches %d != preemptions %d + completed %d", rep.Detaches, rep.Preemptions, completed)
+	}
+	readmissions := rep.Attaches - started
+	if readmissions < 0 || readmissions > rep.Preemptions {
+		t.Fatalf("readmissions %d out of range [0, %d] (attaches=%d started=%d)",
+			readmissions, rep.Preemptions, rep.Attaches, started)
+	}
+	if readmissions == 0 {
+		t.Fatalf("no preempted job was readmitted; the double-count hazard was never exercised")
+	}
+	resident := rep.Attaches - rep.Detaches
+	if resident < 0 || resident > c.MaxResident {
+		t.Fatalf("attaches-detaches = %d, want a resident count in [0, %d]", resident, c.MaxResident)
+	}
+	if err := s.GPU().CheckInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ package sm
 import (
 	"fmt"
 
+	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 )
 
@@ -143,6 +144,9 @@ type tbSlot struct {
 type SM struct {
 	ID int
 
+	// Trace receives lifecycle events (assign/release/fail); nil disables.
+	Trace *trace.Tracer
+
 	warpsPerTB int
 	tbSlots    []tbSlot
 	schedulers int
@@ -213,6 +217,7 @@ func (s *SM) TBDurationEstimate() float64 { return s.tbDurationEMA }
 // pending drain/switch completion callback is cancelled — the controller
 // compensates its in-flight bookkeeping separately.
 func (s *SM) Fail(cycle uint64) {
+	s.Trace.Emit(trace.KSMFail, cycle, int32(s.AppID()), int32(s.ID), 0, 0, 0)
 	s.state = Failed
 	s.app = nil
 	s.onFree = nil
@@ -235,6 +240,7 @@ func (s *SM) Release(cycle uint64) {
 	if s.state == Failed || s.state == Idle {
 		return
 	}
+	s.Trace.Emit(trace.KSMRelease, cycle, int32(s.AppID()), int32(s.ID), 0, 0, 0)
 	s.onFree = nil
 	s.finishFree(cycle)
 }
@@ -265,6 +271,7 @@ func (s *SM) Assign(cycle uint64, app *App) {
 	if s.state == Failed {
 		panic(fmt.Sprintf("sm: assigning app %d to failed SM %d", app.ID, s.ID))
 	}
+	s.Trace.Emit(trace.KSMAssign, cycle, int32(app.ID), int32(s.ID), 0, 0, 0)
 	s.app = app
 	s.state = Active
 	s.warps = s.warps[:0]

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseFilter parses the -trace-filter flag grammar: a comma-separated list
+// of category names (optionally prefixed "cat=") and at most one "sev=NAME"
+// minimum-severity token.
+//
+//	""                          everything
+//	"migration"                 only migration events
+//	"migration,fault"           two categories
+//	"cat=admission,sev=warn"    admission events at warn or above
+//	"sev=info"                  all categories at info or above
+//
+// Naming at least one category restricts the ring to those categories;
+// naming none admits all. Unknown tokens are errors.
+func ParseFilter(spec string) (Filter, error) {
+	var f Filter
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return f, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		if tok == "" {
+			continue
+		}
+		if sev, ok := strings.CutPrefix(tok, "sev="); ok {
+			s, err := ParseSeverity(sev)
+			if err != nil {
+				return Filter{}, err
+			}
+			f.minSev = s
+			continue
+		}
+		tok = strings.TrimPrefix(tok, "cat=")
+		c, err := ParseCategory(tok)
+		if err != nil {
+			return Filter{}, fmt.Errorf("trace: bad filter token %q: %w", tok, err)
+		}
+		f.cats |= 1 << c
+	}
+	return f, nil
+}
+
+// String renders the filter in ParseFilter's grammar ("" = everything).
+func (f Filter) String() string {
+	var parts []string
+	if f.cats != 0 {
+		for c := Category(0); c < numCategories; c++ {
+			if f.cats&(1<<c) != 0 {
+				parts = append(parts, c.String())
+			}
+		}
+	}
+	if f.minSev > SevDebug {
+		parts = append(parts, "sev="+f.minSev.String())
+	}
+	return strings.Join(parts, ",")
+}
