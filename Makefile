@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke trace-smoke experiments bench-json clean
+.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke trace-smoke ff-smoke experiments bench-json clean
 
 all: check
 
@@ -76,6 +76,22 @@ trace-smoke:
 	cmp trace-faults-serial.jsonl trace-faults-parallel.jsonl
 	wc -l trace-serial.jsonl trace-faults-serial.jsonl
 	rm -f trace-serial.jsonl trace-parallel.jsonl trace-faults-serial.jsonl trace-faults-parallel.jsonl trace-fig-serial.txt trace-fig-parallel.txt
+
+## ff-smoke: fast-forward determinism; the fault and serve smokes (including
+## their traced JSONL streams) must be byte-identical with the fast-forward
+## engine on (default) and off (-no-fastforward) (CI smoke job)
+ff-smoke:
+	$(GO) run ./cmd/experiments $(FAULT_SMOKE_FLAGS) -parallel 1 -trace-out ff-faults-on.jsonl > ff-faults-on.txt
+	$(GO) run ./cmd/experiments $(FAULT_SMOKE_FLAGS) -parallel 1 -no-fastforward -trace-out ff-faults-off.jsonl > ff-faults-off.txt
+	cmp ff-faults-on.txt ff-faults-off.txt
+	cmp ff-faults-on.jsonl ff-faults-off.jsonl
+	$(GO) run ./cmd/experiments $(SERVE_SMOKE_FLAGS) -parallel 1 -trace-out ff-serve-on.jsonl > ff-serve-on.txt
+	$(GO) run ./cmd/experiments $(SERVE_SMOKE_FLAGS) -parallel 1 -no-fastforward -trace-out ff-serve-off.jsonl > ff-serve-off.txt
+	cmp ff-serve-on.txt ff-serve-off.txt
+	cmp ff-serve-on.jsonl ff-serve-off.jsonl
+	cat ff-faults-on.txt ff-serve-on.txt
+	rm -f ff-faults-on.txt ff-faults-off.txt ff-serve-on.txt ff-serve-off.txt \
+		ff-faults-on.jsonl ff-faults-off.jsonl ff-serve-on.jsonl ff-serve-off.jsonl
 
 ## experiments: regenerate every figure at the recorded scale
 experiments:

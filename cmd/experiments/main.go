@@ -100,6 +100,8 @@ func main() {
 		traceOn     = flag.Bool("trace", false, "record deterministic event traces for the sweep figures (faults, serve)")
 		traceOut    = flag.String("trace-out", "", "trace output path (implies -trace; default trace.jsonl; .json converts to Chrome trace_event)")
 		traceFilter = flag.String("trace-filter", "", "trace category/severity filter, e.g. \"migration,fault,sev=warn\" (empty = everything)")
+		fastForward = flag.Bool("fastforward", true, "event-driven fast-forward engine: skip provably-dead cycles and idle SMs (results are byte-identical either way)")
+		noFastFwd   = flag.Bool("no-fastforward", false, "disable the fast-forward engine (same as -fastforward=false)")
 		pprofPrefix = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.mem.pprof runtime profiles")
 		benchJSON   = flag.String("bench-json", "", "write a serial-vs-parallel benchmark report to this path and exit")
 		verbose     = flag.Bool("v", false, "log per-run progress")
@@ -128,6 +130,7 @@ func main() {
 	opt.ArrivalRate = *arrRate
 	opt.QoSMix = *qosMix
 	opt.ServeSeed = *serveSeed
+	opt.NoFastForward = *noFastFwd || !*fastForward
 	switch {
 	case *watchdog > 0:
 		opt.Cfg.WatchdogCycles = *watchdog

@@ -440,6 +440,38 @@ func (h *HBM) ChannelIdleFor(cycle uint64, globalCh int) uint64 {
 // PendingMigrations reports migration jobs still in flight.
 func (h *HBM) PendingMigrations() int { return len(h.migs) }
 
+// NextActivity reports the earliest future cycle at which Tick could change
+// state, or false when the memory system holds no queued requests (callers
+// gate migration work separately via PendingMigrations). The bound mirrors
+// issueOne's only unconditional no-op gate: a channel with queued work issues
+// nothing while its data-bus reservation runs more than a row-miss-latency
+// window ahead, so until busFreeAt-window the channel's Tick is a pure no-op.
+// Every other stall (bank timing, migration-held bank groups) can resolve
+// within the same call, so a channel inside its window bounds at `cycle`
+// (no skip). The returned cycle is never later than the channel's real next
+// state change.
+func (h *HBM) NextActivity(cycle uint64) (uint64, bool) {
+	if h.queuedTotal == 0 {
+		return 0, false
+	}
+	c := int64(cycle)
+	t := h.cfg.Timing
+	window := int64(t.TRP + t.TRCD + t.TCL + 8*h.cfg.BurstCycles)
+	next := ^uint64(0)
+	for _, ch := range h.channels {
+		if ch.queued == 0 {
+			continue
+		}
+		if ch.busFreeAt <= c+window {
+			return cycle, true
+		}
+		if at := uint64(ch.busFreeAt - window); at < next {
+			next = at
+		}
+	}
+	return next, true
+}
+
 // QueuedTotal reports requests queued across all channels (diagnostics).
 func (h *HBM) QueuedTotal() int { return h.queuedTotal }
 

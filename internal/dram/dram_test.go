@@ -475,3 +475,54 @@ func TestCompletionsNeverBeforeMinimumLatency(t *testing.T) {
 		t.Fatalf("%d accesses never completed", pending)
 	}
 }
+
+// TestNextActivityBound drives the memory system the way the fast-forward
+// engine does: whenever NextActivity reports a future bound, the cycles
+// below it are ticked and must complete nothing (the channels are inside
+// their bus-reservation window and issueOne is a provable no-op).
+func TestNextActivityBound(t *testing.T) {
+	h, m, _ := testHBM()
+	if _, ok := h.NextActivity(0); ok {
+		t.Fatal("idle HBM reports pending activity")
+	}
+	pending := 0
+	done := func(uint64, *Request) { pending-- }
+	// Enough same-channel traffic to back the data bus up beyond the issue
+	// window, forcing future bounds: row hits issue every other cycle
+	// (tCCDL) but each occupies the bus for BurstCycles > tCCDL.
+	loc := m.Decode(0)
+	for i := 0; i < 32; i++ {
+		if h.Enqueue(0, &Request{Loc: loc, Done: done}) {
+			pending++
+		}
+	}
+	if pending < 8 {
+		t.Fatalf("only %d requests accepted", pending)
+	}
+	sawFutureBound := false
+	cycle := uint64(0)
+	for pending > 0 && cycle < 100_000 {
+		if at, ok := h.NextActivity(cycle); ok && at > cycle {
+			sawFutureBound = true
+			before := pending
+			for ; cycle < at; cycle++ {
+				h.Tick(cycle)
+				if pending != before {
+					t.Fatalf("request issued at cycle %d, before bound %d", cycle, at)
+				}
+			}
+			continue
+		}
+		h.Tick(cycle)
+		cycle++
+	}
+	if pending != 0 {
+		t.Fatalf("%d requests never issued", pending)
+	}
+	if !sawFutureBound {
+		t.Fatal("workload never produced a future NextActivity bound")
+	}
+	if _, ok := h.NextActivity(cycle); ok {
+		t.Fatal("drained HBM still reports pending activity")
+	}
+}

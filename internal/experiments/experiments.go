@@ -68,6 +68,11 @@ type Options struct {
 	// TraceOut receives the concatenated JSONL (nil = tracing still runs,
 	// output discarded; cmd/experiments points this at -trace-out).
 	TraceOut io.Writer
+	// NoFastForward disables the event-driven fast-forward engine and runs
+	// the plain per-cycle loop (gpu.Options.NoFastForward). Results are
+	// byte-identical either way; the switch exists for differential checks
+	// (`make ff-smoke`) and perf comparison.
+	NoFastForward bool
 }
 
 // runner returns the sweep fan-out pool.
@@ -127,12 +132,17 @@ func (o Options) logf(format string, args ...any) {
 func (o Options) gpuOptions() gpu.Options {
 	g := gpu.DefaultOptions()
 	g.FootprintScale = o.FootprintScale
+	g.NoFastForward = o.NoFastForward
 	return g
 }
 
-// withScale applies the experiment's footprint scale to a policy.
+// withScale applies the experiment's footprint scale (and the fast-forward
+// switch) to a policy.
 func (o Options) withScale(p core.Policy) core.Policy {
-	return core.WithOptions(p, func(g *gpu.Options) { g.FootprintScale = o.FootprintScale })
+	return core.WithOptions(p, func(g *gpu.Options) {
+		g.FootprintScale = o.FootprintScale
+		g.NoFastForward = o.NoFastForward
+	})
 }
 
 // Series is one plotted line/bar group.

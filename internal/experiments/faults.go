@@ -90,6 +90,7 @@ func (o Options) FaultSweep() (Figure, error) {
 				g.Faults = spec
 				g.FaultSeed = o.FaultSeed
 				g.Trace = tr
+				g.NoFastForward = o.NoFastForward
 			})
 			res, err := core.RunPolicy(o.Cfg, pol, mixes[i])
 			if err != nil {

@@ -388,6 +388,17 @@ func (inj *Injector) FirstCycle() (uint64, bool) {
 	return inj.plan[0].Cycle, true
 }
 
+// NextCycle returns the cycle of the earliest undelivered planned event and
+// true, or (0,false) when the plan is exhausted (or the injector is nil).
+// It is the injector's next-activity bound for the fast-forward engine:
+// Armed is false at every cycle strictly before the returned value.
+func (inj *Injector) NextCycle() (uint64, bool) {
+	if inj == nil || inj.next >= len(inj.plan) {
+		return 0, false
+	}
+	return inj.plan[inj.next].Cycle, true
+}
+
 // DropMessage samples the NoC-drop stream: true means this packet is
 // lost and must be retransmitted by the caller's model.
 func (inj *Injector) DropMessage() bool {

@@ -233,3 +233,37 @@ func TestNilInjectorSafe(t *testing.T) {
 		t.Error("nil injector has a FirstCycle")
 	}
 }
+
+// TestNextCycleBound checks the fast-forward bound: the injector is never
+// armed strictly before NextCycle, and always armed at it.
+func TestNextCycleBound(t *testing.T) {
+	spec, err := ParseSpec("sm=2,group=1,bank=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(42, spec, testGeo())
+	seen := 0
+	for {
+		at, ok := inj.NextCycle()
+		if !ok {
+			break
+		}
+		if at > 0 && inj.Armed(at-1) {
+			t.Fatalf("injector armed at %d, before its NextCycle bound %d", at-1, at)
+		}
+		if !inj.Armed(at) {
+			t.Fatalf("injector not armed at its own NextCycle bound %d", at)
+		}
+		if _, ok := inj.PopDue(at); !ok {
+			t.Fatalf("no event due at bound %d", at)
+		}
+		seen++
+	}
+	if want := len(inj.Plan()); seen != want {
+		t.Fatalf("popped %d events via NextCycle, plan has %d", seen, want)
+	}
+	var nilInj *Injector
+	if _, ok := nilInj.NextCycle(); ok {
+		t.Fatal("nil injector reports a pending event")
+	}
+}

@@ -51,3 +51,38 @@ func TestSteadyStateZeroAllocTracerEnabled(t *testing.T) {
 		t.Error("enabled tracer recorded nothing over a 20k-cycle run")
 	}
 }
+
+// TestEpochBoundaryZeroAlloc extends the steady-state assertion across epoch
+// boundaries: EndEpoch reuses its deltas/stats buffers, so a run step plus
+// an epoch snapshot must stay allocation-free too.
+//
+// The interleaved run span is kept short on purpose. Even after warm-up the
+// tick path still allocates roughly twice per hundred cycles as freelists and
+// per-bank queues hit new high-water marks (a pre-existing, slowly decaying
+// amortized cost the steady-state tests above absorb the same way). With a
+// 5-cycle span those background allocations stay far below one per run, so
+// AllocsPerRun's integer division floors them to zero, while a real EndEpoch
+// regression — re-allocating its deltas or stats slice — costs at least one
+// allocation per call and reads as >= 1.0.
+func TestEpochBoundaryZeroAlloc(t *testing.T) {
+	cfg := testConfig()
+	opt := DefaultOptions()
+	opt.FootprintScale = 64
+	g, err := New(cfg, []AppSpec{
+		{Bench: bench(t, "LBM"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "DXTC"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(20_000)
+	g.EndEpoch() // size the reused buffers
+	if got := testing.AllocsPerRun(100, func() {
+		g.Run(5)
+		if stats := g.EndEpoch(); len(stats) != 2 {
+			t.Fatalf("EndEpoch returned %d app entries, want 2", len(stats))
+		}
+	}); got != 0 {
+		t.Errorf("epoch boundary: %.1f allocs per run+EndEpoch step, want 0", got)
+	}
+}

@@ -79,3 +79,105 @@ func BenchmarkSteadyStateCyclesTraced(b *testing.B) {
 	b.ResetTimer()
 	g.Run(uint64(b.N))
 }
+
+// benchIdleGPU builds a GPU with no resident tenants: the drained-tenant
+// steady state an online-serving deployment spends much of its time in.
+func benchIdleGPU(b *testing.B, noFF bool) *GPU {
+	b.Helper()
+	opt := DefaultOptions()
+	opt.FootprintScale = 64
+	opt.NoFastForward = noFF
+	g, err := New(testConfig(), nil, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSteadyStateIdle measures the per-cycle cost of a quiescent GPU
+// (all tenants drained, nothing resident). The fast-forward engine should
+// collapse this to a bound computation per scrub interval; compare against
+// BenchmarkSteadyStateIdleNoFastForward for the speedup.
+func BenchmarkSteadyStateIdle(b *testing.B) {
+	g := benchIdleGPU(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(uint64(b.N))
+}
+
+// BenchmarkSteadyStateIdleNoFastForward is the per-cycle baseline for the
+// same quiescent shape.
+func BenchmarkSteadyStateIdleNoFastForward(b *testing.B) {
+	g := benchIdleGPU(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(uint64(b.N))
+}
+
+// benchChurn drives the serving churn shape: tenants attach, run briefly,
+// and detach, so the machine alternates between short bursts of work and
+// drained quiet spans punctuated by context-save traffic.
+func benchChurn(b *testing.B, noFF bool) {
+	dxtc, err := workload.ByAbbr("DXTC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.FootprintScale = 64
+	opt.NoFastForward = noFF
+	g, err2 := New(testConfig(), nil, opt)
+	if err2 != nil {
+		b.Fatal(err2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := g.AttachApp(g.Cycle(), AppSpec{Bench: dxtc, SMs: 8, Groups: []int{0, 1}}, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Run(1_500)
+		if err := g.BeginDetach(g.Cycle(), id); err != nil {
+			b.Fatal(err)
+		}
+		for !g.FinishDetach(g.Cycle(), id) {
+			g.Run(500)
+		}
+	}
+}
+
+// BenchmarkServeChurn measures one attach/run/detach tenant cycle per
+// iteration with fast-forward on (the default serving configuration).
+func BenchmarkServeChurn(b *testing.B) { benchChurn(b, false) }
+
+// BenchmarkServeChurnNoFastForward is the per-cycle-loop baseline.
+func BenchmarkServeChurnNoFastForward(b *testing.B) { benchChurn(b, true) }
+
+// BenchmarkSteadyStateCyclesNoFastForward is BenchmarkSteadyStateCycles with
+// the fast-forward engine disabled: the pair bounds the engine's overhead on
+// a busy machine (the regression budget is 2%).
+func BenchmarkSteadyStateCyclesNoFastForward(b *testing.B) {
+	cfg := testConfig()
+	lbm, err := workload.ByAbbr("LBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dxtc, err := workload.ByAbbr("DXTC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.FootprintScale = 64
+	opt.NoFastForward = true
+	g, err := New(cfg, []AppSpec{
+		{Bench: lbm, SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: dxtc, SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Run(20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(uint64(b.N))
+}

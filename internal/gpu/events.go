@@ -49,6 +49,14 @@ type wheel struct {
 
 	// spare recycles fired bucket backing arrays.
 	spare [][]wheelEvent
+
+	// nextAt caches the earliest pending deadline for the fast-forward
+	// engine. The cache is only ever an exact minimum or stale-low: schedule
+	// lowers it, firing leaves it at the just-fired cycle (forcing a
+	// recompute on the next query), and events are never removed otherwise —
+	// so next() can never report a deadline later than a real pending event.
+	nextAt    uint64
+	nextValid bool
 }
 
 // fire dispatches one due event.
@@ -75,6 +83,9 @@ func (w *wheel) schedule(now, at uint64, fn func(uint64)) {
 func (w *wheel) scheduleEvent(now uint64, ev wheelEvent) {
 	if ev.at < now {
 		ev.at = now
+	}
+	if w.nextValid && ev.at < w.nextAt {
+		w.nextAt = ev.at
 	}
 	w.pending++
 	if ev.at-now < wheelSize {
@@ -104,10 +115,20 @@ func (w *wheel) recycle(b []wheelEvent) {
 	w.spare = append(w.spare, b[:0])
 }
 
-// run fires every event due at exactly this cycle. It must be called every
-// cycle in order. Handlers may schedule further events, including at the
-// current cycle; the bucket is re-scanned until it stabilises.
+// run fires every event due at exactly this cycle. Calls must be in
+// increasing cycle order, but cycles with no due events may be skipped (the
+// fast-forward engine does, bounded by next()). Handlers may schedule
+// further events, including at the current cycle; the bucket is re-scanned
+// until it stabilises.
+//
+// Overflow drains before the bucket scan: a skip can land exactly on
+// overMin, and the migrated event (at == cycle) must land in this cycle's
+// bucket before that bucket is scanned, or it would fire a whole wheel
+// revolution late.
 func (w *wheel) run(cycle uint64) {
+	if len(w.overflow) > 0 && cycle+wheelSize-1 >= w.overMin {
+		w.drainOverflow(cycle)
+	}
 	idx := cycle & (wheelSize - 1)
 	for len(w.buckets[idx]) > 0 {
 		b := w.buckets[idx]
@@ -128,9 +149,6 @@ func (w *wheel) run(cycle uint64) {
 		if !fired {
 			break
 		}
-	}
-	if len(w.overflow) > 0 && cycle+wheelSize-1 >= w.overMin {
-		w.drainOverflow(cycle)
 	}
 }
 
@@ -154,6 +172,45 @@ func (w *wheel) drainOverflow(cycle uint64) {
 
 // Pending reports outstanding events (for draining).
 func (w *wheel) Pending() int { return w.pending }
+
+// next returns the earliest pending deadline at or after cycle, or false
+// when the wheel is empty. Called before run(cycle) on the current tick, so
+// due events (at == cycle) are still stored and bound the result at `cycle`.
+//
+// The bucket walk relies on the wheel's residency invariant: between ticks
+// every bucketed event satisfies cycle <= at < cycle+wheelSize (older events
+// fired when their bucket was last visited, later ones overflow), so every
+// entry in bucket (cycle+k)&mask has deadline exactly cycle+k and the first
+// non-empty bucket in walk order is the minimum. The walk stops early at the
+// overflow minimum, and the result is cached: schedule lowers the cache, a
+// firing strands it at the fired cycle (<= now on the next query, forcing a
+// recompute), so the cache is never later than a real pending deadline.
+func (w *wheel) next(cycle uint64) (uint64, bool) {
+	if w.pending == 0 {
+		return 0, false
+	}
+	if w.nextValid && w.nextAt > cycle {
+		return w.nextAt, true
+	}
+	best := ^uint64(0)
+	if len(w.overflow) > 0 {
+		best = w.overMin
+	}
+	if w.pending > len(w.overflow) {
+		for k := uint64(0); k < wheelSize; k++ {
+			at := cycle + k
+			if at >= best {
+				break
+			}
+			if len(w.buckets[at&(wheelSize-1)]) > 0 {
+				best = at
+				break
+			}
+		}
+	}
+	w.nextAt, w.nextValid = best, true
+	return best, true
+}
 
 // audit validates the wheel's internal accounting at a quiescent point
 // (between ticks): the pending counter must equal the events actually

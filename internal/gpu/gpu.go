@@ -62,6 +62,12 @@ type Options struct {
 	// disables tracing at one-branch cost per emit point; tracing is
 	// observation-only and never changes simulated results.
 	Trace *trace.Tracer
+	// NoFastForward disables the event-driven fast-forward engine
+	// (fastforward.go) and restores the plain per-cycle loop over all SMs.
+	// The zero value leaves fast-forward ON: skipping is a pure no-op
+	// elision, so results are byte-identical either way; the escape hatch
+	// exists for differential testing and perf comparison.
+	NoFastForward bool
 }
 
 // DefaultOptions returns the UGPU-with-PageMove configuration: fault-driven
@@ -266,6 +272,22 @@ type GPU struct {
 	dataMigCycles uint64
 	smMigCycles   uint64
 
+	// Fast-forward engine state (see fastforward.go). activeSM is the dense,
+	// ascending id list of SMs the tick loop must visit; parked SMs owe
+	// lazily-settled stall statistics from smParkedAt onward.
+	activeSM       []int32
+	smInSet        []bool
+	smParked       []bool
+	smParkedAt     []uint64
+	switchingInSet int
+	smPhase        bool
+	pendingWakes   []int32
+	ffStats        FastForwardStats
+
+	// Reused EndEpoch output buffers (alloc-free epoch boundaries).
+	epochDeltas []uint64
+	epochOut    []EpochStats
+
 	// Correctness sampling.
 	checkTick uint64
 
@@ -423,9 +445,18 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 		g.walkDone(done, tlb.AppOf(key), key>>4)
 	}
 	g.hbm.Trace = g.tr
+	var wake func(*sm.SM)
+	if !opt.NoFastForward {
+		g.smInSet = make([]bool, cfg.NumSMs)
+		g.smParked = make([]bool, cfg.NumSMs)
+		g.smParkedAt = make([]uint64, cfg.NumSMs)
+		g.activeSM = make([]int32, 0, cfg.NumSMs)
+		wake = g.onSMWake
+	}
 	for i := range g.sms {
 		g.sms[i] = sm.New(i, cfg.TBsPerSM(), cfg.WarpsPerTB, cfg.SchedulersPerSM)
 		g.sms[i].Trace = g.tr
+		g.sms[i].Wake = wake
 		g.smL1[i] = cache.New(cfg.L1Sets, cfg.L1Ways, cfg.L1LineBytes)
 		g.smMSHR[i] = cache.NewMSHR(cfg.L1MSHRs, 0)
 		g.smL1TLB[i] = tlb.NewFullyAssociative(cfg.L1TLBEntries)
@@ -494,17 +525,12 @@ func (g *GPU) Totals() Totals { return g.stats }
 
 // Run advances the simulation by n cycles.
 func (g *GPU) Run(n uint64) {
-	end := g.cycle + n
-	for g.cycle < end {
-		g.tick()
-	}
+	g.runSpan(g.cycle + n)
 }
 
 // RunUntil advances to the given absolute cycle.
 func (g *GPU) RunUntil(cycle uint64) {
-	for g.cycle < cycle {
-		g.tick()
-	}
+	g.runSpan(cycle)
 }
 
 func (g *GPU) tick() {
@@ -518,9 +544,13 @@ func (g *GPU) tick() {
 	g.retrySlices(c)
 	g.hbm.Tick(c)
 	g.rspNet.Tick(c)
-	for _, s := range g.sms {
-		s.Tick(c, g)
-		s.RetryBlocked(c, g)
+	if g.opt.NoFastForward {
+		for _, s := range g.sms {
+			s.Tick(c, g)
+			s.RetryBlocked(c, g)
+		}
+	} else {
+		g.tickSMs(c)
 	}
 	if c&63 == 0 {
 		g.scrub(c)
@@ -536,12 +566,22 @@ func (g *GPU) tick() {
 
 // EndEpoch snapshots per-application profile counters since the previous
 // call and resets the baselines. Policies call it at epoch boundaries.
+//
+// The returned slice is a reused buffer, valid until the next EndEpoch call;
+// callers that retain epoch stats across boundaries must copy the values.
 func (g *GPU) EndEpoch() []EpochStats {
 	cycles := g.cycle - g.epochStart
 	g.epochStart = g.cycle
+	g.settleParked()
 
 	// Attribute SM instruction deltas to the SM's current owner.
-	deltas := make([]uint64, len(g.apps))
+	if cap(g.epochDeltas) < len(g.apps) {
+		g.epochDeltas = make([]uint64, len(g.apps))
+	}
+	deltas := g.epochDeltas[:len(g.apps)]
+	for i := range deltas {
+		deltas[i] = 0
+	}
 	for i, s := range g.sms {
 		cur := s.Stats().Instructions
 		d := cur - g.smBase[i]
@@ -550,7 +590,10 @@ func (g *GPU) EndEpoch() []EpochStats {
 			deltas[id] += d
 		}
 	}
-	out := make([]EpochStats, len(g.apps))
+	if cap(g.epochOut) < len(g.apps) {
+		g.epochOut = make([]EpochStats, len(g.apps))
+	}
+	out := g.epochOut[:len(g.apps)]
 	for i, app := range g.apps {
 		app.TotalInstr += deltas[i]
 		dramStats := g.hbm.AppStatsSnapshot(app.ID)
@@ -593,6 +636,7 @@ func (g *GPU) MemInFlight(app int) int { return g.memInFlight[app] }
 
 // SMActiveCycles sums active cycles over all SMs (energy accounting).
 func (g *GPU) SMActiveCycles() uint64 {
+	g.settleParked()
 	var t uint64
 	for _, s := range g.sms {
 		t += s.Stats().ActiveCycles

@@ -154,9 +154,7 @@ func (g *GPU) RunChecked(n uint64) error {
 			step = rem
 		}
 		target := g.cycle + step
-		for g.cycle < target {
-			g.tick()
-		}
+		g.runSpan(target)
 		cur := g.progressFingerprint()
 		if step == hb && g.tr.Enabled() {
 			// Snapshot only when tracing: TakeSnapshot is read-only but not

@@ -178,6 +178,17 @@ func (x *Crossbar) Tick(cycle uint64) {
 // Pending reports undelivered messages (for draining at end of simulation).
 func (x *Crossbar) Pending() int { return len(x.pending) }
 
+// NextArrival reports the earliest pending delivery deadline, or false when
+// no message is in flight. It is the crossbar's conservative next-activity
+// bound for the fast-forward engine: Tick is a no-op at every cycle strictly
+// before the returned value.
+func (x *Crossbar) NextArrival() (uint64, bool) {
+	if len(x.pending) == 0 {
+		return 0, false
+	}
+	return x.pending[0].at, true
+}
+
 // Stats returns a copy of the counters.
 func (x *Crossbar) Stats() Stats { return x.stats }
 

@@ -92,3 +92,30 @@ func TestStats(t *testing.T) {
 		t.Errorf("stats = %+v, want 2 messages / 96 bytes", s)
 	}
 }
+
+// TestNextArrivalBound checks the fast-forward bound: no message may be
+// delivered at a cycle strictly before the reported next arrival.
+func TestNextArrivalBound(t *testing.T) {
+	x := New(4, 4, 32, 20)
+	if _, ok := x.NextArrival(); ok {
+		t.Fatal("empty crossbar reports a pending arrival")
+	}
+	var delivered []uint64
+	x.Send(0, 0, 0, 32, func(c uint64) { delivered = append(delivered, c) })
+	at, ok := x.NextArrival()
+	if !ok {
+		t.Fatal("loaded crossbar reports no arrival")
+	}
+	for c := uint64(0); c < at; c++ {
+		x.Tick(c)
+		if len(delivered) > 0 {
+			t.Fatalf("message delivered at cycle <= %d, before bound %d", c, at)
+		}
+	}
+	for c := at; c <= at+100 && len(delivered) == 0; c++ {
+		x.Tick(c)
+	}
+	if len(delivered) != 1 || delivered[0] < at {
+		t.Fatalf("delivered %v, want one delivery at cycle >= %d", delivered, at)
+	}
+}

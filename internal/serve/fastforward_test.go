@@ -1,0 +1,31 @@
+package serve
+
+// Differential check for the fast-forward engine on the serving path: live
+// attach/detach, QoS admission, and SLO accounting must produce identical
+// reports with the engine on (default) and off (gpu.Options.NoFastForward).
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestServeFastForwardEquivalence(t *testing.T) {
+	run := func(noFF bool) *Report {
+		t.Helper()
+		cfg := traceConfig(t, ClassAware)
+		cfg.Opt.NoFastForward = noFF
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	on, off := run(false), run(true)
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("serve reports diverge with fast-forward on vs off:\n  ff on:  %+v\n  ff off: %+v", on, off)
+	}
+}

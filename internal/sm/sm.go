@@ -120,6 +120,9 @@ func (w *Warp) unblock() {
 	if w.blocked {
 		w.blocked = false
 		w.sm.unready--
+		if w.sm.Wake != nil {
+			w.sm.Wake(w.sm)
+		}
 	}
 }
 
@@ -146,6 +149,16 @@ type SM struct {
 
 	// Trace receives lifecycle events (assign/release/fail); nil disables.
 	Trace *trace.Tracer
+
+	// Wake, when non-nil, is invoked whenever the SM might transition from
+	// "provably inert this cycle" to "needs ticking": a blocked warp
+	// unblocks, an application is assigned, a context switch begins (the SM
+	// must be ticked to observe switchUntil), or the SM leaves the machine
+	// (Fail/Release — so an owner tracking lazily-accrued stall statistics
+	// can settle them at the moment execution stops). The gpu package's
+	// fast-forward engine uses it to maintain its active-SM set; nil (tests,
+	// standalone use) disables the hook at one branch per call site.
+	Wake func(s *SM)
 
 	warpsPerTB int
 	tbSlots    []tbSlot
@@ -228,6 +241,9 @@ func (s *SM) Fail(cycle uint64) {
 	for i := range s.tbSlots {
 		s.tbSlots[i] = tbSlot{}
 	}
+	if s.Wake != nil {
+		s.Wake(s)
+	}
 }
 
 // Release immediately detaches the SM from its application and returns it to
@@ -243,6 +259,9 @@ func (s *SM) Release(cycle uint64) {
 	s.Trace.Emit(trace.KSMRelease, cycle, int32(s.AppID()), int32(s.ID), 0, 0, 0)
 	s.onFree = nil
 	s.finishFree(cycle)
+	if s.Wake != nil {
+		s.Wake(s)
+	}
 }
 
 // OutstandingLoads sums resident warps' in-flight loads (diagnostics).
@@ -280,6 +299,9 @@ func (s *SM) Assign(cycle uint64, app *App) {
 	s.unready = 0
 	for i := range s.tbSlots {
 		s.fillTB(cycle, i)
+	}
+	if s.Wake != nil {
+		s.Wake(s)
 	}
 }
 
@@ -350,6 +372,9 @@ func (s *SM) BeginSwitch(cycle, readyAt uint64, onFree func(cycle uint64, s *SM)
 	s.unready = 0
 	for i := range s.tbSlots {
 		s.tbSlots[i] = tbSlot{}
+	}
+	if s.Wake != nil {
+		s.Wake(s)
 	}
 }
 
@@ -580,6 +605,29 @@ func (s *SM) compactWarps() {
 
 // ResidentWarps reports live warps (for tests and occupancy metrics).
 func (s *SM) ResidentWarps() int { return s.residentWarps() }
+
+// CanIssue reports whether at least one resident warp is schedulable — the
+// O(1) check pickWarp uses. While false (and the retry list is empty and the
+// state does not change), Tick only accrues one active and one stall cycle,
+// which AccrueStall can replicate in closed form.
+func (s *SM) CanIssue() bool { return len(s.warps) > 0 && s.unready < len(s.warps) }
+
+// RetryLen reports warps parked on the structural-retry list.
+func (s *SM) RetryLen() int { return len(s.retry) }
+
+// SwitchUntil reports when an in-flight context switch completes (only
+// meaningful in the Switching state).
+func (s *SM) SwitchUntil() uint64 { return s.switchUntil }
+
+// AccrueStall charges n fully-stalled active cycles in closed form: exactly
+// what n consecutive Tick calls would record for an Active/Draining SM with
+// no schedulable warp (ActiveCycles and StallCycles advance, nothing else).
+// The fast-forward engine uses it to settle an SM that was elided from the
+// tick loop while all its warps were blocked.
+func (s *SM) AccrueStall(n uint64) {
+	s.stats.ActiveCycles += n
+	s.stats.StallCycles += n
+}
 
 // InvalidateTranslationFilters clears every resident warp's one-entry
 // translation filter; the gpu package calls it when TLBs are flushed during

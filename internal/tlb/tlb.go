@@ -278,6 +278,19 @@ func (w *Walker) Tick(cycle uint64) {
 // Pending reports active plus queued walks.
 func (w *Walker) Pending() int { return len(w.active) + len(w.waiting) }
 
+// NextDone reports the earliest completion deadline among in-flight walks,
+// or false when the walker is empty. Queued walks never need a separate
+// bound: the waiting list is non-empty only while all walker threads are
+// busy, so the heap minimum always exists and always lower-bounds the next
+// state change. Tick is a no-op at every cycle strictly before the returned
+// value.
+func (w *Walker) NextDone() (uint64, bool) {
+	if len(w.active) == 0 {
+		return 0, false
+	}
+	return w.active[0].doneAt, true
+}
+
 // PendingTagged counts active plus queued tagged walks whose per-walk
 // argument satisfies match. Callers that enqueue walks via EnqueueTagged with
 // a tlb.Key argument can use it to ask whether any walk still references a

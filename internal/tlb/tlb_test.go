@@ -128,3 +128,34 @@ func TestWalkerManyQueued(t *testing.T) {
 		t.Errorf("%d walks completed, want 100", n)
 	}
 }
+
+// TestWalkerNextDoneBound checks the fast-forward bound: no walk may
+// complete at a cycle strictly before the reported next completion, and a
+// queued walk promoted by that completion pushes the bound later.
+func TestWalkerNextDoneBound(t *testing.T) {
+	w := NewWalker(2, 4, 60) // 240-cycle walks, 2 threads
+	if _, ok := w.NextDone(); ok {
+		t.Fatal("idle walker reports a pending completion")
+	}
+	var done []uint64
+	for i := 0; i < 3; i++ { // third walk queues behind the 2 threads
+		w.Enqueue(0, func(c uint64) { done = append(done, c) })
+	}
+	at, ok := w.NextDone()
+	if !ok || at != 240 {
+		t.Fatalf("NextDone = %d,%v, want 240,true", at, ok)
+	}
+	for c := uint64(1); c < at; c++ {
+		w.Tick(c)
+		if len(done) > 0 {
+			t.Fatalf("walk completed at cycle <= %d, before bound %d", c, at)
+		}
+	}
+	w.Tick(at)
+	if len(done) != 2 || done[0] != at {
+		t.Fatalf("completions %v, want both thread walks done at %d", done, at)
+	}
+	if at2, ok2 := w.NextDone(); !ok2 || at2 <= at {
+		t.Fatalf("promoted queued walk: NextDone = %d,%v, want > %d", at2, ok2, at)
+	}
+}

@@ -42,6 +42,14 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	first := true
 	var recorded uint64
 	for k := Kind(0); k < numKinds; k++ {
+		if k == KFastForward {
+			// Execution-strategy diagnostic, not a simulation event: the
+			// skip tally depends on whether the fast-forward engine is
+			// enabled, and the export contract is that identical simulations
+			// render identical bytes with fast-forward on or off. Read it
+			// via Count(KFastForward) instead.
+			continue
+		}
 		recorded += t.counts[k]
 		if t.counts[k] == 0 {
 			continue

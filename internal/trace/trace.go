@@ -211,6 +211,12 @@ const (
 	// a2=pending merged translations.
 	KWatchdogStall
 
+	// KFastForward: the fast-forward engine elided a quiescent span
+	// (counter-only via Note, one count per skip: skips carry no per-event
+	// payload and must never enter the ring, so traced output stays
+	// byte-identical with fast-forward on or off).
+	KFastForward
+
 	numKinds
 )
 
@@ -250,6 +256,7 @@ var kindInfo = [numKinds]struct {
 	KJobDone:        {"job-done", CatAdmission, SevInfo},
 	KWatchdogWindow: {"watchdog-window", CatWatchdog, SevDebug},
 	KWatchdogStall:  {"watchdog-stall", CatWatchdog, SevError},
+	KFastForward:    {"fast-forward", CatWatchdog, SevDebug},
 }
 
 // String returns the kind's short hyphenated name.
