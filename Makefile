@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke trace-smoke ff-smoke experiments bench-json clean
+.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke failover-smoke trace-smoke ff-smoke experiments bench-json clean
 
 all: check
 
@@ -58,6 +58,21 @@ serve-smoke:
 	cmp serve-serial.txt serve-parallel.txt
 	cat serve-serial.txt
 	rm -f serve-serial.txt serve-parallel.txt
+
+## failover-smoke: short cluster-failover sweep; kills one of four GPUs
+## mid-run, restores its tenants from checkpoints, and re-dispatches them to
+## the survivors. Serial and parallel runs of the same arrival + crash seed
+## must produce byte-identical reports and merged traces (CI smoke job)
+FAILOVER_SMOKE_FLAGS = -fig failover -cycles 40000 -epoch 10000 -serve-seed 9 \
+	-gpu-faults 1 -trace
+failover-smoke:
+	$(GO) run ./cmd/experiments $(FAILOVER_SMOKE_FLAGS) -parallel 1 -trace-out failover-serial.jsonl > failover-serial.txt
+	$(GO) run ./cmd/experiments $(FAILOVER_SMOKE_FLAGS) -parallel 8 -trace-out failover-parallel.jsonl > failover-parallel.txt
+	cmp failover-serial.txt failover-parallel.txt
+	cmp failover-serial.jsonl failover-parallel.jsonl
+	grep -q '"kind":"gpu-crash"' failover-serial.jsonl
+	cat failover-serial.txt
+	rm -f failover-serial.txt failover-parallel.txt failover-serial.jsonl failover-parallel.jsonl
 
 ## trace-smoke: traced sweep determinism; the JSONL event stream and the
 ## rendered figure must be byte-identical serial vs parallel, healthy and

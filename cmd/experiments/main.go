@@ -70,6 +70,7 @@ func gensFor(opt experiments.Options) []gen {
 		{"pagesize", opt.PageSizeSensitivity},
 		{"faults", opt.FaultSweep},
 		{"serve", opt.ServeSweep},
+		{"failover", opt.FailoverSweep},
 	}
 }
 
@@ -97,6 +98,9 @@ func main() {
 		arrRate     = flag.Float64("arrival-rate", 0, "serve figure: single arrival rate in jobs per 100K cycles (0 = rising default set)")
 		qosMix      = flag.Float64("qos-mix", 0, "serve figure: latency-critical arrival fraction (0 = the 0.5 default)")
 		serveSeed   = flag.Int64("serve-seed", 0, "serve figure: arrival-schedule seed (0 = seed 1)")
+		gpuFaults   = flag.Int("gpu-faults", 0, "failover figure: whole-GPU crashes to inject (0 = the default 1)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "failover figure: checkpoint interval in cycles (0 = 2 epochs)")
+		brownout    = flag.Bool("brownout", true, "failover figure: include the tiered-brownout arm")
 		traceOn     = flag.Bool("trace", false, "record deterministic event traces for the sweep figures (faults, serve)")
 		traceOut    = flag.String("trace-out", "", "trace output path (implies -trace; default trace.jsonl; .json converts to Chrome trace_event)")
 		traceFilter = flag.String("trace-filter", "", "trace category/severity filter, e.g. \"migration,fault,sev=warn\" (empty = everything)")
@@ -130,6 +134,9 @@ func main() {
 	opt.ArrivalRate = *arrRate
 	opt.QoSMix = *qosMix
 	opt.ServeSeed = *serveSeed
+	opt.GPUFaults = *gpuFaults
+	opt.CheckpointEvery = *ckptEvery
+	opt.Brownout = *brownout
 	opt.NoFastForward = *noFastFwd || !*fastForward
 	switch {
 	case *watchdog > 0:

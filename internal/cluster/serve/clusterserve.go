@@ -1,0 +1,759 @@
+// Package clusterserve implements cluster-level failover for the online
+// serving layer (ISSUE 7): a frontend routes the seeded arrival stream of
+// internal/workload across N per-GPU serve.Servers (backend mode), injects
+// whole-GPU crashes from a seeded schedule, restores crashed tenants from
+// the victim's last periodic checkpoint, re-dispatches them to survivors
+// under a per-job retry budget with exponential backoff, and sheds load
+// through a tiered brownout controller when the surviving capacity cannot
+// absorb the stream.
+//
+// Determinism: the per-epoch GPU stepping fans out over internal/parallel
+// (each backend and its tracer are single-owner per task) while every
+// frontend decision — crash processing, completion draining, checkpoints,
+// arrivals, brownout transitions, dispatch — happens serially at epoch
+// boundaries in a fixed order over index-ordered state. Identical seeds
+// therefore produce byte-identical merged traces and identical reports at
+// any -parallel worker count, with fast-forward on or off.
+//
+// Honest accounting: a crash rolls every tenant of the victim back to its
+// last checkpointed progress; the discarded service (in alone-cycles) is
+// summed into SLOReport.LostWork, downtime into Availability, and the
+// crash-to-redispatch interval into MTTRCycles. No job is ever silently
+// dropped — every arrival ends completed, rejected, or shed with a reason.
+package clusterserve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ugpu/internal/config"
+	"ugpu/internal/fault"
+	"ugpu/internal/gpu"
+	"ugpu/internal/metrics"
+	"ugpu/internal/parallel"
+	"ugpu/internal/serve"
+	"ugpu/internal/trace"
+	"ugpu/internal/workload"
+)
+
+// RelaxFactor is the brownout tier-2 LC target multiplier: completions
+// under tier >= 2 are judged against RelaxFactor x the LC slowdown target.
+const RelaxFactor = 2.0
+
+// Config parameterises one cluster serving run.
+type Config struct {
+	// GPUs is the cluster size (default 4).
+	GPUs int
+	// Sim/Opt configure each backend GPU identically.
+	Sim config.Config
+	Opt gpu.Options
+	// Arrivals generates the cluster-wide request stream (ignored when Jobs
+	// is set); Seed seeds it.
+	Arrivals workload.ArrivalSpec
+	Seed     int64
+	// Jobs, when non-nil, replays an explicit schedule instead of Arrivals.
+	Jobs []workload.Job
+	// Policy is each backend's admission discipline.
+	Policy serve.Policy
+	// SLO sets per-class slowdown targets (zero: metrics.DefaultSLO).
+	SLO metrics.SLOSpec
+	// MaxResident / QueueCap configure each backend (serve.Config).
+	MaxResident int
+	QueueCap    int
+
+	// CheckpointEvery is the cycle interval between periodic checkpoints of
+	// every alive backend (default 2 x EpochCycles). Crashed tenants resume
+	// from the last checkpoint; shorter intervals lose less work per crash
+	// at more snapshot cost.
+	CheckpointEvery int
+	// Crashes is the number of whole-GPU crashes to inject (seeded schedule
+	// via fault.PlanGPUCrashes, clamped to GPUs-1 so a survivor remains).
+	Crashes int
+	// CrashSeed seeds the crash schedule (0 means Seed).
+	CrashSeed int64
+	// CrashPlan, when non-nil, replays an explicit crash schedule instead
+	// of Crashes/CrashSeed (tests; may kill every GPU).
+	CrashPlan []fault.Crash
+	// RetryBudget bounds re-dispatch attempts per crash-recovered job
+	// (default 3); exhaustion sheds the job with ShedRetryExhausted.
+	RetryBudget int
+	// Brownout enables the tiered overload controller: tier 1 sheds new
+	// best-effort arrivals, tier 2 additionally relaxes the LC target by
+	// RelaxFactor, tier 3 circuit-breaks all arrivals until the frontend
+	// queue delay recovers.
+	Brownout bool
+	// BrownoutDelay is the frontend mean queue delay (cycles) that trips
+	// tier 1; tier t trips at BrownoutDelay << (t-1). Default 2 x
+	// EpochCycles. Exit is hysteretic at half the tier's entry threshold.
+	BrownoutDelay int
+
+	// Parallel bounds the worker pool stepping the backends (0 =
+	// GOMAXPROCS; 1 = serial). Reports and traces are identical for any
+	// value.
+	Parallel int
+	// Alone supplies solo-IPC references shared by every backend; nil
+	// builds one from Sim/Opt.
+	Alone *metrics.AloneIPC
+	// Trace receives frontend events (crash, checkpoint, redispatch,
+	// brownout, shed); nil disables. BackendTracers, when non-nil, must
+	// have one (possibly nil) tracer per GPU and receives each backend's
+	// device/serving stream.
+	Trace          *trace.Tracer
+	BackendTracers []*trace.Tracer
+}
+
+// Validate checks the cluster knobs, returning a *config.FieldError naming
+// the first violated constraint (the backend serve.Config and simulator
+// geometry are validated through serve.Config.Validate), or nil.
+func (c Config) Validate() error {
+	if c.GPUs < 0 {
+		return &config.FieldError{Field: "clusterserve.GPUs", Value: c.GPUs,
+			Reason: "must be >= 0 (0 means the default of 4)"}
+	}
+	if c.Crashes < 0 {
+		return &config.FieldError{Field: "clusterserve.Crashes", Value: c.Crashes,
+			Reason: "must be >= 0"}
+	}
+	if c.CheckpointEvery < 0 {
+		return &config.FieldError{Field: "clusterserve.CheckpointEvery", Value: c.CheckpointEvery,
+			Reason: "must be >= 0 (0 means the default of 2 epochs)"}
+	}
+	if c.RetryBudget < 0 {
+		return &config.FieldError{Field: "clusterserve.RetryBudget", Value: c.RetryBudget,
+			Reason: "must be >= 0 (0 means the default of 3)"}
+	}
+	if c.BrownoutDelay < 0 {
+		return &config.FieldError{Field: "clusterserve.BrownoutDelay", Value: c.BrownoutDelay,
+			Reason: "must be >= 0 (0 means the default of 2 epochs)"}
+	}
+	if c.BackendTracers != nil && len(c.BackendTracers) != c.effectiveGPUs() {
+		return &config.FieldError{Field: "clusterserve.BackendTracers", Value: len(c.BackendTracers),
+			Reason: fmt.Sprintf("must have one entry per GPU (%d)", c.effectiveGPUs())}
+	}
+	return c.backendConfig(nil).Validate()
+}
+
+func (c Config) effectiveGPUs() int {
+	if c.GPUs <= 0 {
+		return 4
+	}
+	return c.GPUs
+}
+
+// backendConfig is the serve.Config every backend is built from. The empty
+// non-nil Jobs slice selects backend mode (arrivals only via Offer); the
+// frontend owns the real schedule. Validation of the cluster arrival spec
+// still runs against the frontend's own mode, so the nil-tracer variant
+// doubles as the Validate target.
+func (c Config) backendConfig(tr *trace.Tracer) serve.Config {
+	opt := c.Opt
+	opt.Trace = tr
+	jobs := []workload.Job{}
+	if c.Jobs == nil {
+		// Arrival mode: let serve.Config.Validate check the spec too. The
+		// actual backends are always built with the empty schedule below.
+		jobs = nil
+	}
+	return serve.Config{
+		Sim:         c.Sim,
+		Opt:         opt,
+		Arrivals:    c.Arrivals,
+		Seed:        c.Seed,
+		Jobs:        jobs,
+		Policy:      c.Policy,
+		SLO:         c.SLO,
+		MaxResident: c.MaxResident,
+		QueueCap:    c.QueueCap,
+		Alone:       c.Alone,
+	}
+}
+
+func (c *Config) withDefaults() {
+	if c.GPUs <= 0 {
+		c.GPUs = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * c.Sim.EpochCycles
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.BrownoutDelay <= 0 {
+		c.BrownoutDelay = 2 * c.Sim.EpochCycles
+	}
+	if c.CrashSeed == 0 {
+		c.CrashSeed = c.Seed
+	}
+	if c.SLO == (metrics.SLOSpec{}) {
+		c.SLO = metrics.DefaultSLO()
+	}
+	if c.Alone == nil {
+		c.Alone = metrics.NewAloneIPC(c.Sim, c.Opt)
+	}
+}
+
+// AllDeadError is the terminal failure of a run that lost every GPU: the
+// frontend stops stepping, but Run still returns the report accumulated to
+// the point of death (availability, MTTR, lost work are all accounted).
+type AllDeadError struct {
+	Cycle uint64 // cycle of the crash that killed the last GPU
+}
+
+func (e *AllDeadError) Error() string {
+	return fmt.Sprintf("clusterserve: all GPUs dead at cycle %d", e.Cycle)
+}
+
+// trackState is one job's position in the frontend state machine.
+type trackState uint8
+
+const (
+	tsPending    trackState = iota // not yet arrived
+	tsQueued                       // in a frontend class queue
+	tsDispatched                   // offered to a backend (resident or queued there)
+	tsCompleted
+	tsRejected
+	tsShed
+)
+
+// track is the frontend's view of one job: its durable (checkpointed)
+// progress and its routing state. On a crash the durable fields are exactly
+// what survives.
+type track struct {
+	job   workload.Job
+	state trackState
+	gpu   int // backend index while dispatched, else -1
+
+	// Durable progress: refreshed from checkpoints and completions, never
+	// from a crashed GPU's live state.
+	served   uint64
+	work     uint64
+	start    int
+	preempts int
+
+	finish    int
+	shed      metrics.ShedReason
+	relax     float64 // LC target multiplier in force at completion
+	retries   int
+	notBefore uint64 // backoff: no re-dispatch before this cycle
+	crashOf   int    // crashLog index this job is recovering from, -1
+	enqueued  int    // cycle it last entered a frontend queue
+}
+
+// Frontend routes the arrival stream across the backends. Build with New,
+// run with Run.
+type Frontend struct {
+	cfg      Config
+	backends []*serve.Server
+	alive    []bool
+	nAlive   int
+
+	crashPlan []fault.Crash
+	nextCrash int
+
+	tracks  []*track
+	nextArr int
+	lcQ     []*track
+	beQ     []*track
+
+	lastCkpt int
+
+	tier      int
+	belowFor  int
+	brownouts int
+	maxTier   int
+
+	crashLog   []metrics.CrashOutcome
+	recovering []int // per crash: jobs still awaiting re-dispatch
+	lostWork   float64
+
+	epochs   int
+	shed     int
+	rejected int
+}
+
+// New validates the configuration, generates the cluster-wide arrival
+// schedule and crash plan, and builds the backends.
+func New(cfg Config) (*Frontend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.withDefaults()
+	jobs := cfg.Jobs
+	if jobs == nil {
+		var err error
+		jobs, err = cfg.Arrivals.Generate(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := &Frontend{cfg: cfg, nAlive: cfg.GPUs}
+	f.backends = make([]*serve.Server, cfg.GPUs)
+	f.alive = make([]bool, cfg.GPUs)
+	for i := range f.backends {
+		var tr *trace.Tracer
+		if cfg.BackendTracers != nil {
+			tr = cfg.BackendTracers[i]
+		}
+		bcfg := cfg.backendConfig(tr)
+		bcfg.Jobs = []workload.Job{} // always backend mode
+		if !bcfg.Opt.Faults.Empty() {
+			// Intra-GPU fault injection composes with whole-GPU crashes;
+			// offset the seed so each backend degrades independently.
+			bcfg.Opt.FaultSeed += int64(i)
+		}
+		b, err := serve.New(bcfg)
+		if err != nil {
+			return nil, fmt.Errorf("clusterserve: backend %d: %w", i, err)
+		}
+		f.backends[i] = b
+		f.alive[i] = true
+	}
+	f.tracks = make([]*track, len(jobs))
+	for i, j := range jobs {
+		f.tracks[i] = &track{job: j, gpu: -1, start: -1, finish: -1, crashOf: -1}
+	}
+	f.crashPlan = cfg.CrashPlan
+	if f.crashPlan == nil && cfg.Crashes > 0 {
+		f.crashPlan = fault.PlanGPUCrashes(cfg.CrashSeed, cfg.GPUs, cfg.Crashes,
+			uint64(cfg.Sim.MaxCycles))
+	}
+	return f, nil
+}
+
+// Report is a cluster serving run's outcome.
+type Report struct {
+	GPUs   int
+	Cycles uint64
+	Epochs int
+
+	Arrived   int
+	Completed int
+	Rejected  int
+	Shed      int
+
+	// Brownouts counts tier transitions; MaxTier is the deepest tier
+	// reached (0 = the controller never engaged).
+	Brownouts int
+	MaxTier   int
+
+	// Crashes is the crash log with per-crash recovery points.
+	Crashes []metrics.CrashOutcome
+	// LostWork is the alone-cycles of progress rolled back by crashes.
+	LostWork float64
+
+	// Outcomes holds one entry per observed arrival, in arrival order.
+	Outcomes []metrics.JobOutcome
+	// SLO folds Outcomes plus the failover stats (availability, MTTR,
+	// lost work).
+	SLO metrics.SLOReport
+}
+
+// Run executes the cluster serve loop to the horizon. On total cluster
+// death it returns the report accumulated so far alongside *AllDeadError.
+func (f *Frontend) Run() (*Report, error) {
+	horizon := uint64(f.cfg.Sim.MaxCycles)
+	epoch := uint64(f.cfg.Sim.EpochCycles)
+	if epoch == 0 || epoch > horizon {
+		epoch = horizon
+	}
+	runner := parallel.New(f.cfg.Parallel)
+	cycle := uint64(0)
+	for cycle < horizon {
+		step := epoch
+		if rem := horizon - cycle; rem < step {
+			step = rem
+		}
+		// Crashes due in this epoch fire before the step: the victim never
+		// executes another cycle.
+		f.processCrashes(cycle, cycle+step)
+		if f.nAlive == 0 {
+			return f.report(cycle), &AllDeadError{Cycle: cycle}
+		}
+		idx := f.aliveIdx()
+		if err := runner.ForEach(len(idx), func(k int) error {
+			return f.backends[idx[k]].StepEpoch(step)
+		}); err != nil {
+			return nil, err
+		}
+		cycle += step
+		if err := f.boundary(int(cycle)); err != nil {
+			return nil, err
+		}
+		f.epochs++
+	}
+	return f.report(cycle), nil
+}
+
+// aliveIdx lists alive backend indices, ascending.
+func (f *Frontend) aliveIdx() []int {
+	var out []int
+	for i, ok := range f.alive {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// boundary is the frontend's serial per-epoch pass. Order is fixed for
+// determinism: completions, checkpoint, arrivals, brownout, dispatch,
+// invariants.
+func (f *Frontend) boundary(cycle int) error {
+	f.drainCompletions(cycle)
+	f.maybeCheckpoint(cycle)
+	f.admitArrivals(cycle)
+	f.updateBrownout(cycle)
+	f.dispatch(cycle)
+	return f.checkInvariants(cycle)
+}
+
+// drainCompletions collects finished jobs from alive backends in index
+// order and folds their durable outcome into the tracks.
+func (f *Frontend) drainCompletions(cycle int) {
+	for _, i := range f.aliveIdx() {
+		for _, c := range f.backends[i].TakeCompleted() {
+			tk := f.tracks[c.JobID]
+			tk.state = tsCompleted
+			tk.gpu = -1
+			tk.start = c.Start
+			tk.finish = c.Finish
+			tk.served = c.Served
+			tk.preempts = c.Preempts
+			if f.cfg.Brownout && f.tier >= 2 {
+				tk.relax = RelaxFactor
+			}
+		}
+	}
+}
+
+// maybeCheckpoint snapshots every alive backend when the checkpoint
+// interval has elapsed, refreshing each tenant's durable progress. The
+// snapshot is pure in-memory state; "persistence" is the frontend keeping
+// it in the tracks.
+func (f *Frontend) maybeCheckpoint(cycle int) {
+	if cycle-f.lastCkpt < f.cfg.CheckpointEvery {
+		return
+	}
+	f.lastCkpt = cycle
+	for _, i := range f.aliveIdx() {
+		snap := f.backends[i].Snapshot()
+		var served uint64
+		for _, ts := range snap {
+			tk := f.tracks[ts.JobID]
+			tk.served = ts.Served
+			tk.work = ts.Work
+			tk.start = ts.Start
+			tk.preempts = ts.Preempts
+			served += ts.Served
+		}
+		f.cfg.Trace.Emit(trace.KCheckpoint, uint64(cycle), -1, int32(i),
+			int64(len(snap)), int64(served), 0)
+	}
+}
+
+// admitArrivals moves due arrivals into the frontend class queues, shedding
+// under brownout and rejecting when the frontend queue is saturated.
+func (f *Frontend) admitArrivals(cycle int) {
+	cap := f.cfg.QueueCap * f.cfg.GPUs
+	for f.nextArr < len(f.tracks) && f.tracks[f.nextArr].job.Arrival <= cycle {
+		tk := f.tracks[f.nextArr]
+		f.nextArr++
+		switch {
+		case f.cfg.Brownout && f.tier >= 3:
+			f.shedJob(cycle, tk, metrics.ShedCircuitBreak)
+		case f.cfg.Brownout && f.tier >= 1 && tk.job.Class == workload.BestEffort:
+			f.shedJob(cycle, tk, metrics.ShedBrownoutBE)
+		default:
+			q := &f.lcQ
+			if tk.job.Class == workload.BestEffort {
+				q = &f.beQ
+			}
+			if len(*q) >= cap {
+				tk.state = tsRejected
+				f.rejected++
+				f.cfg.Trace.Emit(trace.KReject, uint64(cycle), -1, int32(tk.job.ID),
+					int64(tk.job.Class), 0, 0)
+				continue
+			}
+			tk.state = tsQueued
+			tk.enqueued = cycle
+			*q = append(*q, tk)
+		}
+	}
+}
+
+// shedJob drops a job with a reason (brownout / circuit-break / retry
+// exhaustion) and settles any crash-recovery bookkeeping.
+func (f *Frontend) shedJob(cycle int, tk *track, why metrics.ShedReason) {
+	tk.state = tsShed
+	tk.shed = why
+	tk.gpu = -1
+	f.shed++
+	f.cfg.Trace.Emit(trace.KShed, uint64(cycle), -1, int32(tk.job.ID),
+		int64(tk.job.Class), int64(why), 0)
+	f.settleRecovery(cycle, tk)
+}
+
+// settleRecovery marks one crash-recovered job as handled (re-dispatched or
+// shed) and closes the crash's MTTR window when it was the last one.
+func (f *Frontend) settleRecovery(cycle int, tk *track) {
+	if tk.crashOf < 0 {
+		return
+	}
+	ci := tk.crashOf
+	tk.crashOf = -1
+	f.recovering[ci]--
+	if f.recovering[ci] == 0 && f.crashLog[ci].RecoveredAt < 0 {
+		f.crashLog[ci].RecoveredAt = cycle
+	}
+}
+
+// updateBrownout moves the overload tier by at most one step per boundary,
+// driven by the mean wait of frontend-queued jobs. Entry to tier t needs
+// delay >= BrownoutDelay << (t-1); exit is hysteretic at half the current
+// tier's entry threshold, sustained for three boundaries.
+func (f *Frontend) updateBrownout(cycle int) {
+	if !f.cfg.Brownout {
+		return
+	}
+	delay := f.queueDelay(cycle)
+	if f.tier < 3 && delay >= float64(int64(f.cfg.BrownoutDelay)<<uint(f.tier)) {
+		f.setTier(cycle, f.tier+1, delay)
+		f.belowFor = 0
+		return
+	}
+	if f.tier > 0 && delay < float64(int64(f.cfg.BrownoutDelay)<<uint(f.tier-1))/2 {
+		f.belowFor++
+		if f.belowFor >= 3 {
+			f.setTier(cycle, f.tier-1, delay)
+			f.belowFor = 0
+		}
+		return
+	}
+	f.belowFor = 0
+}
+
+func (f *Frontend) setTier(cycle, tier int, delay float64) {
+	f.cfg.Trace.Emit(trace.KBrownout, uint64(cycle), -1, -1,
+		int64(f.tier), int64(tier), int64(delay))
+	f.tier = tier
+	f.brownouts++
+	if tier > f.maxTier {
+		f.maxTier = tier
+	}
+}
+
+// queueDelay is the mean wait (cycles since enqueue) across both frontend
+// queues; empty queues mean zero delay.
+func (f *Frontend) queueDelay(cycle int) float64 {
+	n := len(f.lcQ) + len(f.beQ)
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, tk := range f.lcQ {
+		sum += float64(cycle - tk.enqueued)
+	}
+	for _, tk := range f.beQ {
+		sum += float64(cycle - tk.enqueued)
+	}
+	return sum / float64(n)
+}
+
+// dispatch drains the frontend queues (LC first) onto the least-loaded
+// alive backends. A job in backoff is skipped in place; a job no backend
+// can take blocks the rest of its class queue (backpressure).
+func (f *Frontend) dispatch(cycle int) {
+	f.lcQ = f.dispatchQueue(cycle, f.lcQ)
+	f.beQ = f.dispatchQueue(cycle, f.beQ)
+}
+
+func (f *Frontend) dispatchQueue(cycle int, q []*track) []*track {
+	var keep []*track
+	for qi, tk := range q {
+		if tk.notBefore > uint64(cycle) {
+			keep = append(keep, tk) // backing off: skip, don't block
+			continue
+		}
+		target := f.placeJob(cycle, tk)
+		if target < 0 {
+			// Nothing can take it: keep it and everything behind it.
+			keep = append(keep, q[qi:]...)
+			return keep
+		}
+	}
+	return keep
+}
+
+// placeJob offers one job to alive backends in (load, index) order and
+// returns the accepting backend, or -1 when every queue is full.
+func (f *Frontend) placeJob(cycle int, tk *track) int {
+	idx := f.aliveIdx()
+	sort.SliceStable(idx, func(a, b int) bool {
+		la, lb := f.backends[idx[a]].Load(), f.backends[idx[b]].Load()
+		if la != lb {
+			return la < lb
+		}
+		return idx[a] < idx[b]
+	})
+	for _, i := range idx {
+		r := serve.Resume{
+			Job:      tk.job,
+			Served:   tk.served,
+			Work:     tk.work,
+			Preempts: tk.preempts,
+			Start:    tk.start,
+		}
+		if !f.backends[i].Offer(cycle, r, tk.retries > 0) {
+			continue
+		}
+		tk.state = tsDispatched
+		tk.gpu = i
+		if tk.retries > 0 {
+			victim := int32(-1)
+			if tk.crashOf >= 0 {
+				victim = int32(f.crashLog[tk.crashOf].GPU)
+			}
+			f.cfg.Trace.Emit(trace.KRedispatch, uint64(cycle), victim, int32(tk.job.ID),
+				int64(victim), int64(i), int64(tk.retries))
+		}
+		f.settleRecovery(cycle, tk)
+		return i
+	}
+	return -1
+}
+
+// checkInvariants enforces the cluster conservation laws every boundary:
+// every arrived job is in exactly one terminal or live state, dispatched
+// jobs sit on exactly one alive backend, and the backends hold exactly the
+// jobs the frontend thinks they do.
+func (f *Frontend) checkInvariants(cycle int) error {
+	queued, dispatched, completed, rejected, shed := 0, 0, 0, 0, 0
+	for _, tk := range f.tracks[:f.nextArr] {
+		switch tk.state {
+		case tsQueued:
+			queued++
+		case tsDispatched:
+			dispatched++
+			if tk.gpu < 0 || tk.gpu >= len(f.backends) {
+				return fmt.Errorf("clusterserve: cycle %d: job %d dispatched to bogus GPU %d",
+					cycle, tk.job.ID, tk.gpu)
+			}
+			if !f.alive[tk.gpu] {
+				return fmt.Errorf("clusterserve: cycle %d: job %d resident on dead GPU %d",
+					cycle, tk.job.ID, tk.gpu)
+			}
+		case tsCompleted:
+			completed++
+		case tsRejected:
+			rejected++
+		case tsShed:
+			shed++
+		default:
+			return fmt.Errorf("clusterserve: cycle %d: arrived job %d in state %d",
+				cycle, tk.job.ID, tk.state)
+		}
+	}
+	if queued != len(f.lcQ)+len(f.beQ) {
+		return fmt.Errorf("clusterserve: cycle %d: %d tracks queued but %d jobs in queues",
+			cycle, queued, len(f.lcQ)+len(f.beQ))
+	}
+	if sum := queued + dispatched + completed + rejected + shed; sum != f.nextArr {
+		return fmt.Errorf("clusterserve: cycle %d: job conservation violated: %d states != %d arrivals",
+			cycle, sum, f.nextArr)
+	}
+	load := 0
+	for _, i := range f.aliveIdx() {
+		load += f.backends[i].Load()
+	}
+	if load != dispatched {
+		return fmt.Errorf("clusterserve: cycle %d: backends hold %d jobs, frontend dispatched %d (lost or double-resident job)",
+			cycle, load, dispatched)
+	}
+	return nil
+}
+
+// report folds the tracks and crash log into the final report.
+func (f *Frontend) report(cycle uint64) *Report {
+	r := &Report{
+		GPUs:      f.cfg.GPUs,
+		Cycles:    cycle,
+		Epochs:    f.epochs,
+		Arrived:   f.nextArr,
+		Rejected:  f.rejected,
+		Shed:      f.shed,
+		Brownouts: f.brownouts,
+		MaxTier:   f.maxTier,
+		Crashes:   append([]metrics.CrashOutcome(nil), f.crashLog...),
+		LostWork:  f.lostWork,
+	}
+	r.Outcomes = make([]metrics.JobOutcome, 0, f.nextArr)
+	for _, tk := range f.tracks[:f.nextArr] {
+		if tk.state == tsCompleted {
+			r.Completed++
+		}
+		r.Outcomes = append(r.Outcomes, metrics.JobOutcome{
+			Class:       tk.job.Class,
+			Arrival:     tk.job.Arrival,
+			Start:       tk.start,
+			Finish:      tk.finish,
+			AloneCycles: tk.job.AloneCycles,
+			Rejected:    tk.state == tsRejected,
+			Preemptions: tk.preempts,
+			Shed:        tk.shed,
+			LCRelax:     tk.relax,
+		})
+	}
+	alive := uint64(0)
+	crashed := make(map[int]uint64, len(f.crashLog))
+	for _, c := range f.crashLog {
+		crashed[c.GPU] = uint64(c.Cycle)
+	}
+	for i := 0; i < f.cfg.GPUs; i++ {
+		if at, dead := crashed[i]; dead {
+			alive += at
+		} else {
+			alive += cycle
+		}
+	}
+	r.SLO = metrics.BuildSLOReport(r.Outcomes, f.cfg.SLO, f.cfg.Sim.MaxCycles,
+		metrics.FailoverStats{
+			GPUs:           f.cfg.GPUs,
+			Crashes:        r.Crashes,
+			AliveGPUCycles: alive,
+			LostWork:       f.lostWork,
+		})
+	return r
+}
+
+// WriteTrace writes the merged trace: the frontend stream as task base,
+// then each backend stream as task base+1+GPU index, every stream prefixed
+// by its {"task":N} header (base lets multi-arm figures keep task ids
+// distinct). The merge is a deterministic serial concatenation, so the
+// bytes are identical at any stepping parallelism.
+func (f *Frontend) WriteTrace(w io.Writer, base int) error {
+	if f.cfg.Trace != nil {
+		if _, err := fmt.Fprintf(w, "{\"task\":%d}\n", base); err != nil {
+			return err
+		}
+		if err := f.cfg.Trace.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	for i, tr := range f.cfg.BackendTracers {
+		if tr == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "{\"task\":%d}\n", base+1+i); err != nil {
+			return err
+		}
+		if err := tr.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -46,6 +46,16 @@ type Options struct {
 
 	// ServeSeed seeds the serve sweep's arrival schedules (0 = seed 1).
 	ServeSeed int64
+
+	// GPUFaults is the number of whole-GPU crashes the failover figure
+	// injects (0 = the default 1; clamped to GPUs-1 so a survivor remains).
+	GPUFaults int
+	// CheckpointEvery is the failover figure's checkpoint interval in
+	// cycles (0 = 2 epochs).
+	CheckpointEvery int
+	// Brownout enables the failover figure's brownout arm (the tiered
+	// overload controller); cmd/experiments defaults it on.
+	Brownout bool
 	// ArrivalRate, when > 0, replaces the serve sweep's default rising
 	// rates with a single rate (jobs per 100K cycles).
 	ArrivalRate float64

@@ -1,0 +1,97 @@
+package experiments
+
+// Golden determinism for the cluster failover figure (ISSUE 7): under a
+// seeded one-GPU-kill, the rendered figure, the buffered progress log, and
+// the merged frontend+backend trace must be byte-identical for any
+// -parallel worker count — and the SLO-bearing output must be identical
+// with fast-forward on or off.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderFailover runs the FailoverSweep at reduced scale with tracing on
+// and returns the formatted figure, the progress log, and the merged trace.
+func renderFailover(t *testing.T, workers int, noFF bool) (string, string, string) {
+	t.Helper()
+	o := tiny()
+	o.Cfg.MaxCycles = 30_000 // FailoverSweep doubles this internally
+	o.Parallel = workers
+	o.ServeSeed = 9
+	o.Brownout = true
+	o.NoFastForward = noFF
+	var log, tr bytes.Buffer
+	o.Log = &log
+	o.Trace = true
+	o.TraceOut = &tr
+	f, err := o.FailoverSweep()
+	if err != nil {
+		t.Fatalf("FailoverSweep(workers=%d, noFF=%v): %v", workers, noFF, err)
+	}
+	var out bytes.Buffer
+	f.Format(&out)
+	return out.String(), log.String(), tr.String()
+}
+
+func TestGoldenFailoverSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	serial, serialLog, serialTr := renderFailover(t, 1, false)
+	if len(serial) == 0 || len(serialTr) == 0 {
+		t.Fatal("FailoverSweep rendered nothing")
+	}
+	for _, arm := range []string{"baseline", "crash", "crash+brownout"} {
+		if !strings.Contains(serial, arm) {
+			t.Errorf("rendered figure missing arm %q:\n%s", arm, serial)
+		}
+	}
+	if !strings.Contains(serialTr, `"kind":"gpu-crash"`) {
+		t.Error("merged trace has no gpu-crash event")
+	}
+	for _, workers := range []int{2, 8} {
+		par, parLog, parTr := renderFailover(t, workers, false)
+		if par != serial {
+			t.Errorf("workers=%d: figure not byte-identical to serial\nserial:\n%s\nparallel:\n%s",
+				workers, serial, par)
+		}
+		if parLog != serialLog {
+			t.Errorf("workers=%d: progress log not byte-identical to serial", workers)
+		}
+		if parTr != serialTr {
+			t.Errorf("workers=%d: merged trace not byte-identical to serial (%d vs %d bytes)",
+				workers, len(serialTr), len(parTr))
+		}
+	}
+	// Byte-identical across reruns with the same seed.
+	again, _, againTr := renderFailover(t, 4, false)
+	if again != serial || againTr != serialTr {
+		t.Error("rerun with identical seeds differs")
+	}
+}
+
+func TestGoldenFailoverFastForwardDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	// Fast-forward must not change a single SLO-bearing byte of the figure
+	// or the progress log (which carries goodput/MTTR/availability).
+	on, onLog, _ := renderFailover(t, 1, false)
+	off, offLog, _ := renderFailover(t, 1, true)
+	if on != off {
+		t.Errorf("fast-forward changed the failover figure:\non:\n%s\noff:\n%s", on, off)
+	}
+	if onLog != offLog {
+		t.Errorf("fast-forward changed the failover log:\non:\n%s\noff:\n%s", onLog, offLog)
+	}
+}
+
+func TestFailoverRejectsBadFaultSpec(t *testing.T) {
+	o := tiny()
+	o.FaultSpec = "noc=2"
+	if _, err := o.FailoverSweep(); err == nil {
+		t.Fatal("FailoverSweep accepted a malformed fault spec")
+	}
+}

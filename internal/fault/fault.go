@@ -116,13 +116,18 @@ func (s Spec) String() string {
 	return strings.Join(parts, ",")
 }
 
+// specGrammar is the accepted ParseSpec grammar, quoted by every parse
+// error so a bad flag value explains how to fix itself.
+const specGrammar = `grammar: "sm=N,group=N,bank=N,noc=P,mig=P" — N a non-negative integer, P a probability in [0,1); keys optional, "none" or "" for no faults`
+
 // ParseSpec parses a fault spec of the form
 //
 //	"sm=2,group=1,bank=4,noc=0.001,mig=0.05"
 //
 // Every key is optional; "none" and "" parse to the empty Spec. Unknown
 // keys, malformed values, negative counts, and probabilities outside
-// [0,1) are errors.
+// [0,1) are errors; every error names the offending field and restates the
+// accepted grammar.
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	s = strings.TrimSpace(s)
@@ -136,7 +141,7 @@ func ParseSpec(s string) (Spec, error) {
 		}
 		key, val, ok := strings.Cut(tok, "=")
 		if !ok {
-			return Spec{}, fmt.Errorf("fault spec: %q is not key=value", tok)
+			return Spec{}, fmt.Errorf("fault spec: token %q is not key=value (%s)", tok, specGrammar)
 		}
 		key = strings.TrimSpace(key)
 		val = strings.TrimSpace(val)
@@ -144,7 +149,7 @@ func ParseSpec(s string) (Spec, error) {
 		case "sm", "group", "bank":
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
-				return Spec{}, fmt.Errorf("fault spec: %s=%q: want non-negative integer", key, val)
+				return Spec{}, fmt.Errorf("fault spec: field %s has value %q, want a non-negative integer count (%s)", key, val, specGrammar)
 			}
 			switch key {
 			case "sm":
@@ -156,8 +161,11 @@ func ParseSpec(s string) (Spec, error) {
 			}
 		case "noc", "mig":
 			p, err := strconv.ParseFloat(val, 64)
-			if err != nil || p < 0 || p >= 1 {
-				return Spec{}, fmt.Errorf("fault spec: %s=%q: want probability in [0,1)", key, val)
+			// p != p rejects NaN, which sails through the range comparisons
+			// (both are false for NaN) and would poison every later
+			// threshold test in the sampler.
+			if err != nil || p != p || p < 0 || p >= 1 {
+				return Spec{}, fmt.Errorf("fault spec: field %s has value %q, want a probability in [0,1) (%s)", key, val, specGrammar)
 			}
 			if key == "noc" {
 				spec.NoCDrop = p
@@ -165,7 +173,7 @@ func ParseSpec(s string) (Spec, error) {
 				spec.MigNACK = p
 			}
 		default:
-			return Spec{}, fmt.Errorf("fault spec: unknown key %q (want sm, group, bank, noc, mig)", key)
+			return Spec{}, fmt.Errorf("fault spec: unknown field %q, accepted fields are sm, group, bank, noc, mig (%s)", key, specGrammar)
 		}
 	}
 	return spec, nil

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -265,5 +266,85 @@ func TestNextCycleBound(t *testing.T) {
 	var nilInj *Injector
 	if _, ok := nilInj.NextCycle(); ok {
 		t.Fatal("nil injector reports a pending event")
+	}
+}
+
+func TestPlanGPUCrashesDeterministic(t *testing.T) {
+	a := PlanGPUCrashes(7, 4, 2, 200_000)
+	b := PlanGPUCrashes(7, 4, 2, 200_000)
+	if len(a) != 2 {
+		t.Fatalf("planned %d crashes, want 2", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical seeds planned different schedules: %+v vs %+v", a, b)
+		}
+	}
+	c := PlanGPUCrashes(8, 4, 2, 200_000)
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds planned identical schedules: %+v", a)
+	}
+}
+
+func TestPlanGPUCrashesWindowAndClamp(t *testing.T) {
+	const horizon = 100_000
+	plan := PlanGPUCrashes(3, 4, 10, horizon) // asks for more than gpus-1
+	if len(plan) != 3 {
+		t.Fatalf("clamp left %d crashes, want gpus-1 = 3", len(plan))
+	}
+	seen := map[int]bool{}
+	last := uint64(0)
+	for _, c := range plan {
+		if c.Cycle < horizon/5 || c.Cycle > horizon {
+			t.Errorf("crash at %d outside the middle window of horizon %d", c.Cycle, horizon)
+		}
+		if c.Cycle < last {
+			t.Errorf("plan not sorted: %+v", plan)
+		}
+		last = c.Cycle
+		if seen[c.GPU] {
+			t.Errorf("GPU %d crashes twice: %+v", c.GPU, plan)
+		}
+		seen[c.GPU] = true
+		if c.GPU < 0 || c.GPU >= 4 {
+			t.Errorf("victim %d out of range", c.GPU)
+		}
+	}
+	if got := PlanGPUCrashes(3, 1, 1, horizon); got != nil {
+		t.Errorf("single-GPU cluster planned crashes: %+v", got)
+	}
+	if got := PlanGPUCrashes(3, 4, 0, horizon); got != nil {
+		t.Errorf("zero crashes planned events: %+v", got)
+	}
+}
+
+func TestParseSpecErrorsNameFieldAndGrammar(t *testing.T) {
+	for _, tc := range []struct{ in, field string }{
+		{"sm=banana", "sm"},
+		{"group=-2", "group"},
+		{"noc=1.5", "noc"},
+		{"mig=x", "mig"},
+		{"bogus=1", "bogus"},
+	} {
+		_, err := ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", tc.in)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, tc.field) {
+			t.Errorf("ParseSpec(%q) error %q does not name field %q", tc.in, msg, tc.field)
+		}
+		if !strings.Contains(msg, "grammar:") {
+			t.Errorf("ParseSpec(%q) error %q does not restate the grammar", tc.in, msg)
+		}
 	}
 }

@@ -1,0 +1,60 @@
+package fault
+
+// Fuzzing for the ParseSpec grammar (ISSUE 7 satellite). The committed seed
+// corpus under testdata/fuzz/FuzzParseSpec covers every accepted field,
+// both error classes (bad value, unknown key), and whitespace/empty-token
+// shapes; `go test -fuzz=FuzzParseSpec ./internal/fault` explores from
+// there.
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec asserts ParseSpec never panics, that accepted specs are
+// in-range and round-trip through String, and that every rejection names
+// the accepted grammar.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"sm=2,group=1,bank=4,noc=0.001,mig=0.05",
+		" sm = 1 , group = 0 ",
+		"sm=2,,bank=1",
+		"sm=-1",
+		"noc=1",
+		"mig=0.999999",
+		"banana=7",
+		"sm",
+		"sm=",
+		"=3",
+		"noc=NaN",
+		"bank=9999999999999999999999",
+		"sm=2,sm=3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "grammar:") {
+				t.Fatalf("ParseSpec(%q) error %q does not restate the grammar", s, err)
+			}
+			return
+		}
+		if spec.SMs < 0 || spec.Groups < 0 || spec.Banks < 0 {
+			t.Fatalf("ParseSpec(%q) accepted negative count: %+v", s, spec)
+		}
+		if spec.NoCDrop < 0 || spec.NoCDrop >= 1 || spec.MigNACK < 0 || spec.MigNACK >= 1 {
+			t.Fatalf("ParseSpec(%q) accepted out-of-range probability: %+v", s, spec)
+		}
+		// Accepted specs round-trip: String re-parses to the same value.
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q).String()=%q does not re-parse: %v", s, spec.String(), err)
+		}
+		if back != spec {
+			t.Fatalf("ParseSpec(%q) round-trip mismatch: %+v -> %q -> %+v", s, spec, spec.String(), back)
+		}
+	})
+}

@@ -7,6 +7,7 @@ package metrics
 // sweep prints.
 
 import (
+	"fmt"
 	"sort"
 
 	"ugpu/internal/workload"
@@ -61,6 +62,37 @@ func Slowdown(arrival, finish, aloneCycles int) float64 {
 	return float64(finish-arrival) / float64(aloneCycles)
 }
 
+// ShedReason explains why the cluster frontend dropped a job instead of
+// serving it. ShedNone means the job was not shed.
+type ShedReason uint8
+
+const (
+	// ShedNone: the job was not shed.
+	ShedNone ShedReason = iota
+	// ShedBrownoutBE: a best-effort arrival dropped under brownout tier 1+.
+	ShedBrownoutBE
+	// ShedCircuitBreak: any-class arrival dropped under brownout tier 3.
+	ShedCircuitBreak
+	// ShedRetryExhausted: a crash-recovered job whose re-dispatch budget
+	// ran out.
+	ShedRetryExhausted
+)
+
+// String returns the short hyphenated reason name.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedNone:
+		return "none"
+	case ShedBrownoutBE:
+		return "brownout-be"
+	case ShedCircuitBreak:
+		return "circuit-break"
+	case ShedRetryExhausted:
+		return "retry-exhausted"
+	}
+	return fmt.Sprintf("shed(%d)", uint8(r))
+}
+
 // JobOutcome is one arrival's fate, recorded by the serving layer.
 type JobOutcome struct {
 	Class       workload.QoS
@@ -70,6 +102,16 @@ type JobOutcome struct {
 	AloneCycles int
 	Rejected    bool
 	Preemptions int
+
+	// Shed records why the cluster frontend dropped the job (ShedNone for
+	// jobs that entered service normally). Shed jobs are accounted like
+	// rejections — excluded from completion statistics — but tallied
+	// separately so overload shedding is never mistaken for queue overflow.
+	Shed ShedReason
+	// LCRelax is the brownout relaxation factor in force when the job
+	// completed: its class SLO target is multiplied by it before the met
+	// check. Zero means 1 (no relaxation).
+	LCRelax float64
 }
 
 // Completed reports whether the job finished its work.
@@ -90,8 +132,19 @@ func DefaultSLO() SLOSpec { return SLOSpec{LCSlowdown: 6, BESlowdown: 16} }
 
 // Met reports whether a completed job's slowdown meets its class target.
 func (s SLOSpec) Met(class workload.QoS, slowdown float64) bool {
+	return s.MetRelaxed(class, slowdown, 1)
+}
+
+// MetRelaxed is Met with the latency-critical target multiplied by relax
+// (the brownout tier-2 degraded SLA; best-effort keeps its loose target —
+// brownout already sheds BE admissions rather than re-grading them).
+// relax <= 0 means 1 (no relaxation).
+func (s SLOSpec) MetRelaxed(class workload.QoS, slowdown, relax float64) bool {
+	if relax <= 0 {
+		relax = 1
+	}
 	if class == workload.LatencyCritical {
-		return slowdown <= s.LCSlowdown
+		return slowdown <= s.LCSlowdown*relax
 	}
 	return slowdown <= s.BESlowdown
 }
@@ -113,19 +166,70 @@ type SLOReport struct {
 	// the fraction of the window spent producing work that met its target
 	// (can exceed 1 when tenants run concurrently).
 	Goodput float64
+	// LCGoodput is Goodput restricted to latency-critical jobs (the figure
+	// the brownout comparison optimises for).
+	LCGoodput float64
+
+	// Shed counts jobs the cluster frontend dropped with a reason
+	// (brownout/circuit-break/retry-exhausted); disjoint from Rejected.
+	Shed int
+	// Relaxed counts completions judged under a brownout-relaxed LC target.
+	Relaxed int
+
+	// Failover fields (cluster serving only; zero for single-GPU runs).
+
+	// Crashes is the number of whole-GPU losses during the run.
+	Crashes int
+	// Availability is healthy GPU-cycles over total GPU-cycles (1 with no
+	// crashes, 0 when every GPU was dead for the whole window).
+	Availability float64
+	// MTTRCycles is the mean cycles from a crash to the point every job
+	// recovered from the victim's checkpoint was re-dispatched or shed;
+	// unrecovered crashes count the remainder of the horizon.
+	MTTRCycles float64
+	// LostWork is the alone-cycles of tenant progress rolled back to
+	// checkpoints by crashes.
+	LostWork float64
+}
+
+// CrashOutcome is one whole-GPU loss as the cluster frontend observed it.
+type CrashOutcome struct {
+	Cycle int // crash cycle
+	GPU   int // victim index
+	// RecoveredAt is the cycle at which every job recovered from the
+	// victim's checkpoint had been re-dispatched to a survivor or shed;
+	// -1 if recovery never completed before the horizon.
+	RecoveredAt int
+}
+
+// FailoverStats carries the cluster-level inputs BuildSLOReport folds into
+// the availability / MTTR / lost-work fields.
+type FailoverStats struct {
+	GPUs           int            // cluster size
+	Crashes        []CrashOutcome // whole-GPU losses, in crash order
+	AliveGPUCycles uint64         // sum over GPUs of cycles spent healthy
+	LostWork       float64        // alone-cycles rolled back to checkpoints
 }
 
 // BuildSLOReport folds job outcomes into a report. horizon is the cycle
 // window goodput normalises against; non-positive horizons yield 0 goodput.
-func BuildSLOReport(jobs []JobOutcome, spec SLOSpec, horizon int) SLOReport {
+// An optional FailoverStats adds the cluster failover fields (availability,
+// MTTR, lost work); without one a healthy single-GPU run reports
+// Availability 1 and zero crashes.
+func BuildSLOReport(jobs []JobOutcome, spec SLOSpec, horizon int, failover ...FailoverStats) SLOReport {
 	var r SLOReport
 	r.Jobs = len(jobs)
 	var slowdowns []float64
 	var queueSum float64
 	admitted := 0
 	goodCycles := 0
+	lcGoodCycles := 0
 	for _, j := range jobs {
 		r.Preemptions += j.Preemptions
+		if j.Shed != ShedNone {
+			r.Shed++
+			continue
+		}
 		if j.Rejected {
 			r.Rejected++
 			continue
@@ -140,9 +244,15 @@ func BuildSLOReport(jobs []JobOutcome, spec SLOSpec, horizon int) SLOReport {
 		r.Completed++
 		sd := Slowdown(j.Arrival, j.Finish, j.AloneCycles)
 		slowdowns = append(slowdowns, sd)
-		if spec.Met(j.Class, sd) {
+		if j.LCRelax > 1 && j.Class == workload.LatencyCritical {
+			r.Relaxed++
+		}
+		if spec.MetRelaxed(j.Class, sd, j.LCRelax) {
 			r.SLOMet++
 			goodCycles += j.AloneCycles
+			if j.Class == workload.LatencyCritical {
+				lcGoodCycles += j.AloneCycles
+			}
 		}
 	}
 	if len(slowdowns) > 0 {
@@ -163,6 +273,44 @@ func BuildSLOReport(jobs []JobOutcome, spec SLOSpec, horizon int) SLOReport {
 	}
 	if horizon > 0 {
 		r.Goodput = float64(goodCycles) / float64(horizon)
+		r.LCGoodput = float64(lcGoodCycles) / float64(horizon)
+	}
+	r.Availability = 1
+	if len(failover) > 0 {
+		foldFailover(&r, failover[0], horizon)
 	}
 	return r
+}
+
+// foldFailover computes the cluster failover fields from the frontend's
+// crash log. Availability is defensive against inconsistent inputs (clamped
+// to [0,1]); MTTR treats an unrecovered crash as open until the horizon.
+func foldFailover(r *SLOReport, fo FailoverStats, horizon int) {
+	r.Crashes = len(fo.Crashes)
+	r.LostWork = fo.LostWork
+	if fo.GPUs > 0 && horizon > 0 {
+		av := float64(fo.AliveGPUCycles) / (float64(fo.GPUs) * float64(horizon))
+		if av < 0 {
+			av = 0
+		}
+		if av > 1 {
+			av = 1
+		}
+		r.Availability = av
+	}
+	if len(fo.Crashes) == 0 {
+		return
+	}
+	sum := 0.0
+	for _, c := range fo.Crashes {
+		end := c.RecoveredAt
+		if end < 0 || end > horizon {
+			end = horizon
+		}
+		if end < c.Cycle {
+			end = c.Cycle
+		}
+		sum += float64(end - c.Cycle)
+	}
+	r.MTTRCycles = sum / float64(len(fo.Crashes))
 }

@@ -159,3 +159,136 @@ func TestBuildSLOReport(t *testing.T) {
 		t.Errorf("empty report = %+v", empty)
 	}
 }
+
+func TestMetRelaxed(t *testing.T) {
+	spec := SLOSpec{LCSlowdown: 6, BESlowdown: 16}
+	if spec.MetRelaxed(workload.LatencyCritical, 9, 1) {
+		t.Error("9x met the unrelaxed 6x LC target")
+	}
+	if !spec.MetRelaxed(workload.LatencyCritical, 9, 2) {
+		t.Error("9x missed the 2x-relaxed (12x) LC target")
+	}
+	// relax <= 0 means no relaxation.
+	if spec.MetRelaxed(workload.LatencyCritical, 9, 0) {
+		t.Error("relax=0 was not treated as 1")
+	}
+	// BE keeps its own target regardless of the LC relaxation.
+	if spec.MetRelaxed(workload.BestEffort, 20, 4) {
+		t.Error("relaxation leaked into the BE target")
+	}
+	if !spec.MetRelaxed(workload.BestEffort, 12, 4) {
+		t.Error("in-target BE job judged unmet")
+	}
+}
+
+func TestShedReasonString(t *testing.T) {
+	for r, want := range map[ShedReason]string{
+		ShedNone:           "none",
+		ShedBrownoutBE:     "brownout-be",
+		ShedCircuitBreak:   "circuit-break",
+		ShedRetryExhausted: "retry-exhausted",
+		ShedReason(99):     "shed(99)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("ShedReason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestBuildSLOReportShedAndRelax(t *testing.T) {
+	spec := SLOSpec{LCSlowdown: 6, BESlowdown: 16}
+	jobs := []JobOutcome{
+		// Completed LC job at 9x, judged under a 2x-relaxed target: met.
+		{Class: workload.LatencyCritical, Arrival: 0, Start: 100, Finish: 9_000,
+			AloneCycles: 1_000, LCRelax: 2},
+		// Shed jobs are excluded from completions but counted.
+		{Class: workload.BestEffort, Arrival: 10, Start: -1, Finish: -1,
+			AloneCycles: 1_000, Shed: ShedBrownoutBE},
+		{Class: workload.LatencyCritical, Arrival: 20, Start: -1, Finish: -1,
+			AloneCycles: 1_000, Shed: ShedCircuitBreak},
+	}
+	r := BuildSLOReport(jobs, spec, 10_000)
+	if r.Shed != 2 || r.Rejected != 0 {
+		t.Fatalf("shed=%d rejected=%d, want 2/0", r.Shed, r.Rejected)
+	}
+	if r.Completed != 1 || r.SLOMet != 1 || r.Relaxed != 1 {
+		t.Fatalf("completed=%d met=%d relaxed=%d, want 1/1/1", r.Completed, r.SLOMet, r.Relaxed)
+	}
+	if r.LCGoodput != r.Goodput || r.Goodput != 0.1 {
+		t.Fatalf("goodput=%g lcGoodput=%g, want both 0.1", r.Goodput, r.LCGoodput)
+	}
+	// Availability defaults to 1 without failover stats.
+	if r.Availability != 1 || r.Crashes != 0 || r.MTTRCycles != 0 || r.LostWork != 0 {
+		t.Fatalf("failover defaults wrong: %+v", r)
+	}
+}
+
+func TestBuildSLOReportFailoverZeroCrashes(t *testing.T) {
+	fo := FailoverStats{GPUs: 4, AliveGPUCycles: 4 * 10_000}
+	r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo)
+	if r.Crashes != 0 || r.MTTRCycles != 0 || r.LostWork != 0 {
+		t.Fatalf("zero-crash failover fields wrong: %+v", r)
+	}
+	if r.Availability != 1 {
+		t.Fatalf("availability = %g, want 1", r.Availability)
+	}
+}
+
+func TestBuildSLOReportFailoverCrashAtLastEpoch(t *testing.T) {
+	// A crash with no recovery before the horizon counts the remainder of
+	// the window as its repair time.
+	fo := FailoverStats{
+		GPUs:           2,
+		Crashes:        []CrashOutcome{{Cycle: 9_000, GPU: 1, RecoveredAt: -1}},
+		AliveGPUCycles: 10_000 + 9_000,
+		LostWork:       123,
+	}
+	r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo)
+	if r.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", r.Crashes)
+	}
+	if r.MTTRCycles != 1_000 {
+		t.Fatalf("MTTR = %g, want 1000 (crash to horizon)", r.MTTRCycles)
+	}
+	if r.LostWork != 123 {
+		t.Fatalf("lost work = %g, want 123", r.LostWork)
+	}
+	if want := 19_000.0 / 20_000.0; r.Availability != want {
+		t.Fatalf("availability = %g, want %g", r.Availability, want)
+	}
+}
+
+func TestBuildSLOReportFailoverAllGPUsDead(t *testing.T) {
+	// Terminal path: every GPU crashed and nothing recovered. In-flight
+	// jobs never complete; availability reflects the dead tail.
+	jobs := []JobOutcome{
+		{Class: workload.LatencyCritical, Arrival: 0, Start: 100, Finish: -1, AloneCycles: 1_000},
+	}
+	fo := FailoverStats{
+		GPUs: 2,
+		Crashes: []CrashOutcome{
+			{Cycle: 4_000, GPU: 0, RecoveredAt: 5_000},
+			{Cycle: 6_000, GPU: 1, RecoveredAt: -1},
+		},
+		AliveGPUCycles: 4_000 + 6_000,
+		LostWork:       500,
+	}
+	r := BuildSLOReport(jobs, DefaultSLO(), 10_000, fo)
+	if r.Completed != 0 || r.Goodput != 0 {
+		t.Fatalf("dead cluster completed work: %+v", r)
+	}
+	if r.Crashes != 2 {
+		t.Fatalf("crashes = %d, want 2", r.Crashes)
+	}
+	if want := (1_000.0 + 4_000.0) / 2; r.MTTRCycles != want {
+		t.Fatalf("MTTR = %g, want %g", r.MTTRCycles, want)
+	}
+	if want := 10_000.0 / 20_000.0; r.Availability != want {
+		t.Fatalf("availability = %g, want %g", r.Availability, want)
+	}
+	// Defensive clamp: inconsistent alive-cycle inputs never exceed [0,1].
+	fo.AliveGPUCycles = 1 << 40
+	if r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo); r.Availability != 1 {
+		t.Fatalf("availability not clamped: %g", r.Availability)
+	}
+}

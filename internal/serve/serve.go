@@ -100,6 +100,44 @@ type Config struct {
 	Alone *metrics.AloneIPC
 }
 
+// Validate checks the serving capacity knobs before any GPU is built,
+// returning a *config.FieldError naming the first violated constraint (the
+// same typed error cluster.New surfaces for simulator geometry), or nil.
+// Zero values mean "use the default" and pass; negative capacities, rates,
+// and thresholds never do — rejecting them here fails fast instead of
+// wedging the admission loop with a queue that can never hold a job.
+func (c Config) Validate() error {
+	if err := c.Sim.Validate(); err != nil {
+		return err
+	}
+	if c.MaxResident < 0 {
+		return &config.FieldError{Field: "serve.MaxResident", Value: c.MaxResident,
+			Reason: "must be >= 0 (0 means the default of 4)"}
+	}
+	if c.QueueCap < 0 {
+		return &config.FieldError{Field: "serve.QueueCap", Value: c.QueueCap,
+			Reason: "must be >= 0 (0 means the default of 16)"}
+	}
+	if c.LoadThreshold < 0 {
+		return &config.FieldError{Field: "serve.LoadThreshold", Value: c.LoadThreshold,
+			Reason: "must be >= 0 (0 means the default of 0.10)"}
+	}
+	if c.SLO.LCSlowdown < 0 {
+		return &config.FieldError{Field: "serve.SLO.LCSlowdown", Value: c.SLO.LCSlowdown,
+			Reason: "must be >= 0 (zero SLOSpec means metrics.DefaultSLO)"}
+	}
+	if c.SLO.BESlowdown < 0 {
+		return &config.FieldError{Field: "serve.SLO.BESlowdown", Value: c.SLO.BESlowdown,
+			Reason: "must be >= 0 (zero SLOSpec means metrics.DefaultSLO)"}
+	}
+	if c.Jobs == nil {
+		if err := c.Arrivals.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (c *Config) withDefaults() {
 	if c.MaxResident <= 0 {
 		c.MaxResident = 4
@@ -172,11 +210,18 @@ type Server struct {
 	detaches    int
 	preemptions int
 	rejections  int
+
+	// doneQ is the drain queue of finished jobs for backend mode
+	// (TakeCompleted); unread in single-GPU serving.
+	doneQ []Completion
 }
 
 // New validates the configuration, generates the arrival schedule, and
 // builds an initially empty GPU.
 func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.withDefaults()
 	jobs := cfg.Jobs
 	if jobs == nil {
@@ -245,6 +290,7 @@ func (s *Server) boundary(cycle int) error {
 			if err := s.detach(cycle, slot); err != nil {
 				return err
 			}
+			s.recordCompletion(js)
 		}
 	}
 

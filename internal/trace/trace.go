@@ -88,6 +88,9 @@ const (
 	CatAdmission
 	// CatWatchdog covers watchdog heartbeat windows and stall reports.
 	CatWatchdog
+	// CatCluster covers cluster-level failover: whole-GPU crashes,
+	// checkpoints, cross-GPU re-dispatch, and brownout transitions.
+	CatCluster
 	numCategories
 )
 
@@ -106,6 +109,8 @@ func (c Category) String() string {
 		return "admission"
 	case CatWatchdog:
 		return "watchdog"
+	case CatCluster:
+		return "cluster"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }
@@ -217,6 +222,26 @@ const (
 	// byte-identical with fast-forward on or off).
 	KFastForward
 
+	// KGPUCrash: a whole GPU crashed and left the cluster. unit=GPU index,
+	// a0=jobs recovered from its last checkpoint, a1=lost work in
+	// alone-cycles (progress rolled back to the checkpoint), a2=surviving
+	// GPU count.
+	KGPUCrash
+	// KCheckpoint: the cluster frontend captured one GPU's periodic
+	// deterministic checkpoint. unit=GPU index, a0=jobs captured
+	// (resident+queued), a1=total served instructions captured.
+	KCheckpoint
+	// KRedispatch: a crash-recovered job was re-dispatched to a surviving
+	// GPU. unit=job id, a0=victim GPU, a1=target GPU, a2=retry attempt
+	// (1 = first re-dispatch).
+	KRedispatch
+	// KBrownout: the overload controller changed tiers. a0=old tier,
+	// a1=new tier, a2=queue-delay estimate in cycles.
+	KBrownout
+	// KShed: the frontend shed an arrival or a recovered job. unit=job id,
+	// a0=QoS class, a1=shed reason (metrics.ShedReason numeric).
+	KShed
+
 	numKinds
 )
 
@@ -257,6 +282,11 @@ var kindInfo = [numKinds]struct {
 	KWatchdogWindow: {"watchdog-window", CatWatchdog, SevDebug},
 	KWatchdogStall:  {"watchdog-stall", CatWatchdog, SevError},
 	KFastForward:    {"fast-forward", CatWatchdog, SevDebug},
+	KGPUCrash:       {"gpu-crash", CatCluster, SevError},
+	KCheckpoint:     {"checkpoint", CatCluster, SevDebug},
+	KRedispatch:     {"redispatch", CatCluster, SevWarn},
+	KBrownout:       {"brownout", CatCluster, SevWarn},
+	KShed:           {"job-shed", CatCluster, SevWarn},
 }
 
 // String returns the kind's short hyphenated name.

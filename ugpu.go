@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"strings"
 
+	clusterserve "ugpu/internal/cluster/serve"
 	"ugpu/internal/config"
 	"ugpu/internal/core"
 	"ugpu/internal/experiments"
+	"ugpu/internal/fault"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
 	"ugpu/internal/serve"
@@ -304,3 +306,39 @@ type JobOutcome = metrics.JobOutcome
 
 // Slowdown is a completed job's (finish-arrival)/alone ratio.
 var Slowdown = metrics.Slowdown
+
+// ClusterServeConfig parameterises a cluster serving run: N backend GPUs,
+// a shared arrival stream, a seeded whole-GPU crash schedule, periodic
+// checkpoint/restore, and the tiered brownout controller.
+type ClusterServeConfig = clusterserve.Config
+
+// ClusterServeReport is a cluster serving run's outcome, including the
+// crash log, lost work, and the failover-aware SLO report (availability,
+// MTTR).
+type ClusterServeReport = clusterserve.Report
+
+// ClusterFrontend routes an arrival stream across per-GPU Servers, fails
+// over crashed GPUs from checkpoints, and sheds load under brownout.
+type ClusterFrontend = clusterserve.Frontend
+
+// ClusterAllDeadError is the terminal error of a run that lost every GPU;
+// the accompanying report still accounts the run up to the point of death.
+type ClusterAllDeadError = clusterserve.AllDeadError
+
+// NewClusterFrontend validates the configuration and builds the cluster.
+// Run with (*ClusterFrontend).Run.
+func NewClusterFrontend(cfg ClusterServeConfig) (*ClusterFrontend, error) {
+	return clusterserve.New(cfg)
+}
+
+// PlanGPUCrashes builds the seeded whole-GPU crash schedule used by the
+// failover experiment: crashes in the middle 60% of the horizon, distinct
+// victims, at least one survivor.
+var PlanGPUCrashes = fault.PlanGPUCrashes
+
+// ShedReason explains why the cluster frontend dropped a job (brownout,
+// circuit-break, retry exhaustion).
+type ShedReason = metrics.ShedReason
+
+// CrashOutcome is one whole-GPU loss with its recovery point.
+type CrashOutcome = metrics.CrashOutcome
