@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke failover-smoke trace-smoke ff-smoke experiments bench-json clean
+.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke failover-smoke power-smoke trace-smoke ff-smoke experiments bench-json clean
 
 all: check
 
@@ -73,6 +73,25 @@ failover-smoke:
 	grep -q '"kind":"gpu-crash"' failover-serial.jsonl
 	cat failover-serial.txt
 	rm -f failover-serial.txt failover-parallel.txt failover-serial.jsonl failover-parallel.jsonl
+
+## power-smoke: short DVFS/power-cap sweep; the baseline, governed, and
+## capped arms share one arrival schedule on a 2-GPU cluster. The figure,
+## log, and merged trace must be byte-identical serial vs parallel AND with
+## the fast-forward engine on vs off, and the trace must carry KPower events
+## (CI smoke job)
+POWER_SMOKE_FLAGS = -fig power -cycles 40000 -epoch 10000 -serve-seed 9 -trace
+power-smoke:
+	$(GO) run ./cmd/experiments $(POWER_SMOKE_FLAGS) -parallel 1 -trace-out power-serial.jsonl > power-serial.txt
+	$(GO) run ./cmd/experiments $(POWER_SMOKE_FLAGS) -parallel 8 -trace-out power-parallel.jsonl > power-parallel.txt
+	cmp power-serial.txt power-parallel.txt
+	cmp power-serial.jsonl power-parallel.jsonl
+	$(GO) run ./cmd/experiments $(POWER_SMOKE_FLAGS) -parallel 1 -no-fastforward -trace-out power-noff.jsonl > power-noff.txt
+	cmp power-serial.txt power-noff.txt
+	cmp power-serial.jsonl power-noff.jsonl
+	grep -q '"kind":"power"' power-serial.jsonl
+	cat power-serial.txt
+	rm -f power-serial.txt power-parallel.txt power-noff.txt \
+		power-serial.jsonl power-parallel.jsonl power-noff.jsonl
 
 ## trace-smoke: traced sweep determinism; the JSONL event stream and the
 ## rendered figure must be byte-identical serial vs parallel, healthy and

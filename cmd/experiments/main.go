@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize|faults|serve]
+//	experiments [-fig all|table2|2|3|4|10|11|12a|12b|13|14|15|16|micro|pagesize|faults|serve|failover|power]
 //	            [-cycles N] [-epoch N] [-mixes N] [-scale N] [-parallel N]
 //	            [-faults spec] [-fault-seed N] [-watchdog-timeout N]
 //	            [-arrival-rate R] [-qos-mix F] [-serve-seed N]
+//	            [-power-cap W] [-dvfs=false]
 //	            [-trace] [-trace-out path] [-trace-filter spec] [-pprof prefix]
 //	            [-bench-json path] [-v]
 //
@@ -71,7 +72,18 @@ func gensFor(opt experiments.Options) []gen {
 		{"faults", opt.FaultSweep},
 		{"serve", opt.ServeSweep},
 		{"failover", opt.FailoverSweep},
+		{"power", opt.PowerSweep},
 	}
+}
+
+// figureIDs lists every runnable figure id (the -fig error message and its
+// test read this, so the list can never drift from gensFor).
+func figureIDs() []string {
+	ids := make([]string, 0, 20)
+	for _, g := range gensFor(experiments.Options{}) {
+		ids = append(ids, g.id)
+	}
+	return ids
 }
 
 // generatorFor returns the generator for one figure id under opt.
@@ -96,6 +108,8 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 		watchdog    = flag.Int("watchdog-timeout", 0, "watchdog window in cycles (-1 disables; 0 keeps the config default)")
 		arrRate     = flag.Float64("arrival-rate", 0, "serve figure: single arrival rate in jobs per 100K cycles (0 = rising default set)")
+		powerCap    = flag.Float64("power-cap", 0, "power figure: cluster power budget in watts (0 = derive 85%/70% cap points from the baseline arm)")
+		dvfs        = flag.Bool("dvfs", true, "power figure: include the DVFS-governed and capped arms (false = nominal baseline only)")
 		qosMix      = flag.Float64("qos-mix", 0, "serve figure: latency-critical arrival fraction (0 = the 0.5 default)")
 		serveSeed   = flag.Int64("serve-seed", 0, "serve figure: arrival-schedule seed (0 = seed 1)")
 		gpuFaults   = flag.Int("gpu-faults", 0, "failover figure: whole-GPU crashes to inject (0 = the default 1)")
@@ -132,6 +146,8 @@ func main() {
 	opt.FaultSpec = *faults
 	opt.FaultSeed = *faultSeed
 	opt.ArrivalRate = *arrRate
+	opt.PowerCap = *powerCap
+	opt.DVFS = *dvfs
 	opt.QoSMix = *qosMix
 	opt.ServeSeed = *serveSeed
 	opt.GPUFaults = *gpuFaults
@@ -256,7 +272,8 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure id %q\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure id %q (valid: %s, or all)\n",
+			*fig, strings.Join(figureIDs(), ", "))
 		os.Exit(2)
 	}
 	finish()

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ugpu/internal/experiments"
+)
+
+// TestFigureIDs pins the valid-figure list the unknown -fig error prints:
+// every generator is named, the power figure is present, and there are no
+// duplicate ids (a duplicate would make one figure unreachable by -fig).
+func TestFigureIDs(t *testing.T) {
+	ids := figureIDs()
+	if len(ids) == 0 {
+		t.Fatal("no figure ids")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate figure id %q", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"table2", "10", "faults", "serve", "failover", "power"} {
+		if !seen[want] {
+			t.Errorf("figure id %q missing from %v", want, ids)
+		}
+	}
+	if msg := strings.Join(ids, ", "); !strings.Contains(msg, "power") {
+		t.Errorf("error-message list %q does not mention power", msg)
+	}
+}
+
+// TestGeneratorFor checks the lookup both ways: every listed id resolves,
+// and a bogus id does not (main exits 2 with the valid list in that case).
+func TestGeneratorFor(t *testing.T) {
+	opt := experiments.Default()
+	for _, id := range figureIDs() {
+		if _, ok := generatorFor(opt, id); !ok {
+			t.Errorf("generatorFor(%q) = false, want true", id)
+		}
+	}
+	if _, ok := generatorFor(opt, "bogus"); ok {
+		t.Error("generatorFor(bogus) resolved")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
 	"ugpu/internal/parallel"
+	"ugpu/internal/power"
 	"ugpu/internal/serve"
 	"ugpu/internal/trace"
 	"ugpu/internal/workload"
@@ -88,6 +89,13 @@ type Config struct {
 	// EpochCycles. Exit is hysteretic at half the tier's entry threshold.
 	BrownoutDelay int
 
+	// PowerCap is the cluster-wide power budget in watts (0 = uncapped),
+	// arbitrated across alive GPUs each boundary: every survivor gets an
+	// equal share, and headroom measured on under-consuming GPUs is
+	// re-granted to over-consumers. Effective only when Opt carries a power
+	// config (each backend's governor enforces its assigned share).
+	PowerCap float64
+
 	// Parallel bounds the worker pool stepping the backends (0 =
 	// GOMAXPROCS; 1 = serial). Reports and traces are identical for any
 	// value.
@@ -126,6 +134,10 @@ func (c Config) Validate() error {
 	if c.BrownoutDelay < 0 {
 		return &config.FieldError{Field: "clusterserve.BrownoutDelay", Value: c.BrownoutDelay,
 			Reason: "must be >= 0 (0 means the default of 2 epochs)"}
+	}
+	if c.PowerCap < 0 {
+		return &config.FieldError{Field: "clusterserve.PowerCap", Value: int(c.PowerCap),
+			Reason: "must be >= 0 watts (0 means uncapped)"}
 	}
 	if c.BackendTracers != nil && len(c.BackendTracers) != c.effectiveGPUs() {
 		return &config.FieldError{Field: "clusterserve.BackendTracers", Value: len(c.BackendTracers),
@@ -166,6 +178,7 @@ func (c Config) backendConfig(tr *trace.Tracer) serve.Config {
 		MaxResident: c.MaxResident,
 		QueueCap:    c.QueueCap,
 		Alone:       c.Alone,
+		PowerCap:    c.PowerCap / float64(c.effectiveGPUs()),
 	}
 }
 
@@ -270,6 +283,8 @@ type Frontend struct {
 	recovering []int // per crash: jobs still awaiting re-dispatch
 	lostWork   float64
 
+	caps []float64 // per-GPU power budget currently assigned (watts)
+
 	epochs   int
 	shed     int
 	rejected int
@@ -316,6 +331,12 @@ func New(cfg Config) (*Frontend, error) {
 	for i, j := range jobs {
 		f.tracks[i] = &track{job: j, gpu: -1, start: -1, finish: -1, crashOf: -1}
 	}
+	f.caps = make([]float64, cfg.GPUs)
+	if cfg.PowerCap > 0 {
+		for i := range f.caps {
+			f.caps[i] = cfg.PowerCap / float64(cfg.GPUs)
+		}
+	}
 	f.crashPlan = cfg.CrashPlan
 	if f.crashPlan == nil && cfg.Crashes > 0 {
 		f.crashPlan = fault.PlanGPUCrashes(cfg.CrashSeed, cfg.GPUs, cfg.Crashes,
@@ -350,6 +371,15 @@ type Report struct {
 	// SLO folds Outcomes plus the failover stats (availability, MTTR,
 	// lost work).
 	SLO metrics.SLOReport
+
+	// Served is the total instructions credited across every backend
+	// (crashed GPUs count up to their crash).
+	Served uint64
+	// Energy is the summed DVFS energy breakdown across every backend (zero
+	// value when the run had no power config).
+	Energy power.Breakdown
+	// MeanPower is the cluster mean power in watts over the run.
+	MeanPower float64
 }
 
 // Run executes the cluster serve loop to the horizon. On total cluster
@@ -401,14 +431,67 @@ func (f *Frontend) aliveIdx() []int {
 
 // boundary is the frontend's serial per-epoch pass. Order is fixed for
 // determinism: completions, checkpoint, arrivals, brownout, dispatch,
-// invariants.
+// power arbitration, invariants.
 func (f *Frontend) boundary(cycle int) error {
 	f.drainCompletions(cycle)
 	f.maybeCheckpoint(cycle)
 	f.admitArrivals(cycle)
 	f.updateBrownout(cycle)
 	f.dispatch(cycle)
+	f.arbitratePower(cycle)
 	return f.checkInvariants(cycle)
+}
+
+// arbitratePower redistributes the cluster power budget across alive GPUs:
+// each gets an equal share of the cap, then GPUs measured well under their
+// share donate half their headroom to a pool split equally among GPUs at or
+// above the share. Dead GPUs draw nothing, so survivors inherit their
+// budget. Every per-GPU cap change emits an EventCap KPower on the frontend
+// tracer; iteration is index-ordered, so the floating-point sums are
+// deterministic.
+func (f *Frontend) arbitratePower(cycle int) {
+	if f.cfg.PowerCap <= 0 {
+		return
+	}
+	idx := f.aliveIdx()
+	if len(idx) == 0 {
+		return
+	}
+	share := f.cfg.PowerCap / float64(len(idx))
+	var over []int
+	var pool float64
+	next := make(map[int]float64, len(idx))
+	for _, i := range idx {
+		p := f.backends[i].LastPower()
+		if p < share*0.9 {
+			give := (share - p) / 2
+			next[i] = share - give
+			pool += give
+		} else {
+			next[i] = share
+			over = append(over, i)
+		}
+	}
+	if len(over) == 0 {
+		// Nobody needs the headroom: leave every survivor at its full share.
+		for _, i := range idx {
+			next[i] = share
+		}
+	} else {
+		bonus := pool / float64(len(over))
+		for _, i := range over {
+			next[i] += bonus
+		}
+	}
+	for _, i := range idx {
+		if next[i] == f.caps[i] {
+			continue
+		}
+		f.cfg.Trace.Emit(trace.KPower, uint64(cycle), -1, int32(i),
+			int64(power.EventCap), int64(f.caps[i]+0.5), int64(next[i]+0.5))
+		f.caps[i] = next[i]
+		f.backends[i].SetPowerCap(next[i])
+	}
 }
 
 // drainCompletions collects finished jobs from alive backends in index
@@ -719,6 +802,17 @@ func (f *Frontend) report(cycle uint64) *Report {
 		} else {
 			alive += cycle
 		}
+	}
+	for _, b := range f.backends {
+		r.Served += b.Served()
+		e := b.GPU().PowerReport()
+		r.Energy.Core += e.Core
+		r.Energy.HBM += e.HBM
+		r.Energy.Total += e.Total
+		r.Energy.Transitions += e.Transitions
+	}
+	if pm := f.backends[0].GPU().PowerManager(); pm != nil && cycle > 0 {
+		r.MeanPower = r.Energy.Total / float64(cycle) * pm.WattsPerUnit()
 	}
 	r.SLO = metrics.BuildSLOReport(r.Outcomes, f.cfg.SLO, f.cfg.Sim.MaxCycles,
 		metrics.FailoverStats{

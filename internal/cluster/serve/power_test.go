@@ -1,0 +1,84 @@
+package clusterserve
+
+// Cluster-level power tests: with DVFS enabled and a cluster cap being
+// arbitrated every boundary, the report (including the energy breakdown) and
+// the merged trace stay byte-identical across worker counts and fast-forward
+// modes, survive a mid-run GPU crash, and the cap events appear in the
+// frontend trace.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ugpu/internal/power"
+)
+
+// powerMut enables DVFS on every backend and sets a cluster cap tight enough
+// that the arbiter and per-GPU cap controllers engage.
+func powerMut(c *Config) {
+	c.Opt.Power = &power.Config{}
+	c.PowerCap = 500
+}
+
+func TestClusterPowerReportPopulated(t *testing.T) {
+	rep, tr := runCluster(t, powerMut)
+	if rep.Energy.Total <= 0 {
+		t.Fatalf("cluster energy = %g, want > 0", rep.Energy.Total)
+	}
+	if rep.MeanPower <= 0 {
+		t.Errorf("mean power = %g, want > 0", rep.MeanPower)
+	}
+	if rep.Served == 0 {
+		t.Error("served instruction count is zero")
+	}
+	// The per-GPU budget assignments are trace-visible on the frontend.
+	if !bytes.Contains(tr, []byte(`"kind":"power"`)) {
+		t.Error("merged trace has no power events despite DVFS + cap")
+	}
+	// The crashed GPU's energy is still accounted (it burned power while
+	// alive): the total exceeds any single backend's plausible share.
+	if rep.SLO.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1 (fixture injects one)", rep.SLO.Crashes)
+	}
+}
+
+func TestClusterPowerDeterminismSerialVsParallel(t *testing.T) {
+	serialRep, serialTr := runCluster(t, func(c *Config) { powerMut(c); c.Parallel = 1 })
+	for _, workers := range []int{2, 8} {
+		rep, tr := runCluster(t, func(c *Config) { powerMut(c); c.Parallel = workers })
+		if !reflect.DeepEqual(serialRep, rep) {
+			t.Errorf("parallel=%d power report differs from serial:\nserial:   energy=%+v meanW=%g\nparallel: energy=%+v meanW=%g",
+				workers, serialRep.Energy, serialRep.MeanPower, rep.Energy, rep.MeanPower)
+		}
+		if !bytes.Equal(serialTr, tr) {
+			t.Errorf("parallel=%d merged trace differs from serial (%d vs %d bytes)",
+				workers, len(serialTr), len(tr))
+		}
+	}
+}
+
+func TestClusterPowerFastForwardDifferential(t *testing.T) {
+	ffRep, ffTr := runCluster(t, powerMut)
+	plainRep, plainTr := runCluster(t, func(c *Config) {
+		powerMut(c)
+		c.Opt.NoFastForward = true
+		opt := testOpt()
+		opt.NoFastForward = true
+		c.Alone = primedAlone(c.Sim, opt)
+	})
+	if !reflect.DeepEqual(ffRep.SLO, plainRep.SLO) {
+		t.Errorf("fast-forward changed the SLO report under DVFS:\nff:    %+v\nplain: %+v",
+			ffRep.SLO, plainRep.SLO)
+	}
+	if ffRep.Energy != plainRep.Energy {
+		t.Errorf("fast-forward changed the energy breakdown:\nff:    %+v\nplain: %+v",
+			ffRep.Energy, plainRep.Energy)
+	}
+	if !reflect.DeepEqual(ffRep.Outcomes, plainRep.Outcomes) {
+		t.Error("fast-forward changed job outcomes under DVFS")
+	}
+	if !bytes.Equal(ffTr, plainTr) {
+		t.Error("fast-forward changed the merged trace bytes under DVFS")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+// Closed-world power tests: the energy-aware UGPU variant must actually
+// trade a bounded amount of throughput for a real energy reduction against a
+// decision-identical metered baseline, and the runner's PowerCap must engage
+// the cap controller.
+
+import (
+	"testing"
+
+	"ugpu/internal/gpu"
+	"ugpu/internal/power"
+)
+
+// nominalMetered wraps a policy with a single-state power config: energy is
+// metered exactly as in a DVFS run, but the governor has no states to choose,
+// so partitioning decisions and throughput are untouched.
+func nominalMetered(p Policy) Policy {
+	return WithOptions(p, func(o *gpu.Options) {
+		o.Power = &power.Config{
+			SMStates:  power.DefaultSMStates()[:1],
+			HBMStates: power.DefaultHBMStates()[:1],
+		}
+	})
+}
+
+// TestUGPUEnergySavesEnergy: on the heterogeneous pair, UGPU-energy (UGPU
+// partitioning + SM-release pass + DVFS governor) must burn measurably less
+// energy than metered plain UGPU while keeping most of its throughput. The
+// bounds are loose — the tight numbers live in the recorded -fig power sweep
+// — but the direction must hold or the policy is broken.
+func TestUGPUEnergySavesEnergy(t *testing.T) {
+	cfg := testCfg()
+	mix := heteroMix(t)
+	base, err := RunPolicy(cfg, testPolicy(nominalMetered(NewUGPU(cfg))), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPolicy(cfg, testPolicy(NewUGPUEnergy(cfg)), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Power.Total <= 0 || res.Power.Total <= 0 {
+		t.Fatalf("metering missing: base=%g energy=%g", base.Power.Total, res.Power.Total)
+	}
+	if base.Power.Transitions != 0 {
+		t.Fatalf("nominal-metered baseline made %d transitions", base.Power.Transitions)
+	}
+	if res.Power.Transitions == 0 {
+		t.Error("UGPU-energy made no DVFS transitions on a heterogeneous pair")
+	}
+	if res.Power.Total >= base.Power.Total {
+		t.Errorf("UGPU-energy energy %.0f not below metered UGPU %.0f",
+			res.Power.Total, base.Power.Total)
+	}
+	if res.TotalIPC() < 0.8*base.TotalIPC() {
+		t.Errorf("UGPU-energy IPC %.2f lost more than 20%% vs UGPU %.2f",
+			res.TotalIPC(), base.TotalIPC())
+	}
+}
+
+// TestRunnerPowerCapEngages: a runner with a tight PowerCap drives the cap
+// controller to nonzero depth and lands mean power at or below the sum the
+// uncapped run draws.
+func TestRunnerPowerCapEngages(t *testing.T) {
+	cfg := testCfg()
+	mix := heteroMix(t)
+	free, err := NewRunner(cfg, testPolicy(NewUGPUEnergy(cfg)), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeRes, err := free.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeW := freeRes.Power.Total / float64(freeRes.Cycles) * power.DefaultWattsPerUnit
+
+	capped, err := NewRunner(cfg, testPolicy(NewUGPUEnergy(cfg)), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped.PowerCap = freeW * 0.7
+	capRes, err := capped.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := capped.Governor(); g == nil || g.CapDepth() == 0 {
+		t.Error("70% cap never engaged the cap controller")
+	}
+	if capRes.Power.Total >= freeRes.Power.Total {
+		t.Errorf("capped run energy %.0f not below uncapped %.0f",
+			capRes.Power.Total, freeRes.Power.Total)
+	}
+}

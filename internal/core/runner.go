@@ -6,6 +6,7 @@ import (
 	"ugpu/internal/config"
 	"ugpu/internal/dram"
 	"ugpu/internal/gpu"
+	"ugpu/internal/power"
 	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 )
@@ -71,6 +72,10 @@ type Result struct {
 	// Faults summarises injected faults and the degraded-mode response
 	// (zero value when fault injection is disabled).
 	Faults FaultSummary
+
+	// Power is the DVFS-scaled energy breakdown (zero value when the policy
+	// runs without a power config).
+	Power power.Breakdown
 }
 
 // TotalIPC sums per-application IPC (raw throughput).
@@ -91,6 +96,12 @@ type Runner struct {
 	Mix workload.Mix
 	G   *gpu.GPU
 
+	// PowerCap is the GPU power budget in watts for the DVFS governor
+	// (0 = uncapped). Effective only when the policy's options carry a
+	// power config; set before Run.
+	PowerCap float64
+
+	gov    *power.Governor
 	groups [][]int // concrete channel-group ids per app (disjoint mode)
 	shared bool    // MPS-style: group sets overlap, never reallocated
 }
@@ -272,20 +283,21 @@ func (r *Runner) Run() (Result, error) {
 		if r.G.Cycle() >= total {
 			break
 		}
-		targets, latency, ok := r.Pol.Decide(r.G.Cycle(), stats)
-		if !ok {
-			continue
+		if targets, latency, ok := r.Pol.Decide(r.G.Cycle(), stats); ok {
+			if latency > 0 && r.Cfg.AlgorithmALUCycles {
+				r.G.Run(uint64(latency))
+			}
+			if err := r.applyTargets(r.G.Cycle(), targets); err != nil {
+				return res, err
+			}
+			if err := r.G.CheckInvariants(); err != nil {
+				return res, err
+			}
+			res.Reallocations++
 		}
-		if latency > 0 && r.Cfg.AlgorithmALUCycles {
-			r.G.Run(uint64(latency))
-		}
-		if err := r.applyTargets(r.G.Cycle(), targets); err != nil {
-			return res, err
-		}
-		if err := r.G.CheckInvariants(); err != nil {
-			return res, err
-		}
-		res.Reallocations++
+		// The DVFS governor steps after the partition decision so domain
+		// ownership reflects the new allocation.
+		r.stepPower(r.G.Cycle(), stats)
 	}
 	res.Cycles = r.G.Cycle()
 	if res.Epochs > 0 {
@@ -296,6 +308,7 @@ func (r *Runner) Run() (Result, error) {
 	}
 	res.HBM = r.G.HBM().TotalStats()
 	res.SMActiveCycles = r.G.SMActiveCycles()
+	res.Power = r.G.PowerReport()
 	res.Final = make([]Target, len(r.Mix.Apps))
 	for i := range r.Mix.Apps {
 		p := r.G.PartitionOf(i)
@@ -345,6 +358,32 @@ func (r *Runner) Run() (Result, error) {
 	}
 	return res, nil
 }
+
+// stepPower runs the DVFS governor for one epoch boundary. Closed-world
+// mode has no QoS classes or tenant churn, so every slot is best-effort and
+// its generation is the slot itself; the memory-boundedness degree comes
+// from the same Equation 1-2 model the partitioning algorithm uses.
+func (r *Runner) stepPower(cycle uint64, stats []gpu.EpochStats) {
+	pm := r.G.PowerManager()
+	if pm == nil {
+		return
+	}
+	if r.gov == nil {
+		r.gov = power.NewGovernor(pm, len(stats), power.GovernorConfig{Cap: r.PowerCap})
+	}
+	bw := BandwidthFor(r.Cfg)
+	slices := make([]power.Slice, len(stats))
+	for i, e := range stats {
+		s := power.Slice{Slot: i, Gen: i, MemDegree: bw.Degree(ProfileOf(e))}
+		s.SMDomains, s.Channels = r.G.AppendPowerDomains(i, nil, nil)
+		slices[i] = s
+	}
+	r.gov.Step(cycle, slices)
+}
+
+// Governor exposes the runner's DVFS governor (nil until the first boundary
+// of a power-enabled run).
+func (r *Runner) Governor() *power.Governor { return r.gov }
 
 // RunPolicy is the one-call helper: build a runner and run it.
 func RunPolicy(cfg config.Config, pol Policy, mix workload.Mix) (Result, error) {

@@ -123,6 +123,13 @@ type channel struct {
 	// partially failed link.
 	degraded bool
 
+	// freqNum/freqDen is the channel's DVFS frequency as a fraction of
+	// nominal (ISSUE 8): a throttled channel's data bursts occupy
+	// ceil(BurstCycles·Den/Num) bus cycles. Zero means nominal. Composes
+	// multiplicatively with degraded mode.
+	freqNum int
+	freqDen int
+
 	stats ChannelStats
 }
 
@@ -145,6 +152,9 @@ type ChannelStats struct {
 	// Fault-injection counters.
 	BankFaults     uint64 // transient bank faults delivered to this channel
 	DegradedServes uint64 // bursts served at the degraded-channel rate
+
+	// ThrottledServes counts bursts stretched by channel DVFS (ISSUE 8).
+	ThrottledServes uint64
 }
 
 // HBM is the whole memory system.
@@ -371,6 +381,10 @@ func (h *HBM) schedule(cycle uint64, ch *channel, b *bank, r *Request) uint64 {
 		lat = int64(t.TWL)
 	}
 	burst := int64(h.cfg.BurstCycles)
+	if ch.freqDen > ch.freqNum {
+		burst = (burst*int64(ch.freqDen) + int64(ch.freqNum) - 1) / int64(ch.freqNum)
+		ch.stats.ThrottledServes++
+	}
 	if ch.degraded {
 		burst *= degradedServeFactor
 		ch.stats.DegradedServes++
@@ -422,6 +436,7 @@ func (h *HBM) TotalStats() ChannelStats {
 		s.QueueFull += ch.stats.QueueFull
 		s.BankFaults += ch.stats.BankFaults
 		s.DegradedServes += ch.stats.DegradedServes
+		s.ThrottledServes += ch.stats.ThrottledServes
 	}
 	return s
 }
@@ -484,6 +499,29 @@ func (h *HBM) DegradeChannel(globalCh int) {
 
 // Degraded reports whether the channel is in degraded mode.
 func (h *HBM) Degraded(globalCh int) bool { return h.channels[globalCh].degraded }
+
+// SetChannelFreq sets a channel's DVFS frequency to num/den of nominal
+// (ISSUE 8): subsequent data bursts occupy ceil(BurstCycles·den/num) bus
+// cycles. num == den (or 0) restores nominal timing. The issue-window gate
+// and NextActivity keep using the nominal window, so the fast-forward bound
+// stays an exact mirror of issueOne's no-op condition.
+func (h *HBM) SetChannelFreq(globalCh, num, den int) {
+	ch := h.channels[globalCh]
+	if num >= den {
+		ch.freqNum, ch.freqDen = 0, 0
+		return
+	}
+	ch.freqNum, ch.freqDen = num, den
+}
+
+// ReserveBus holds a channel's data bus until the given cycle (a DVFS
+// frequency transition: the link retrains and transfers nothing). Pending
+// requests wait it out via the ordinary busFreeAt path, which NextActivity
+// already bounds.
+func (h *HBM) ReserveBus(globalCh int, until uint64) {
+	ch := h.channels[globalCh]
+	ch.busFreeAt = maxI(ch.busFreeAt, int64(until))
+}
 
 // InjectBankFault makes one bank unavailable for duration cycles and closes
 // its row buffer (a transient DRAM bank fault: the bank's state is lost and

@@ -59,6 +59,12 @@ type Options struct {
 	// ArrivalRate, when > 0, replaces the serve sweep's default rising
 	// rates with a single rate (jobs per 100K cycles).
 	ArrivalRate float64
+	// PowerCap, when > 0, replaces the power figure's derived cap points
+	// with a single cluster budget in watts.
+	PowerCap float64
+	// DVFS includes the power figure's governed arms (cmd/experiments
+	// defaults it on; off leaves only the nominal baseline).
+	DVFS bool
 	// QoSMix is the serve sweep's latency-critical arrival fraction
 	// (0 = the 0.5 default).
 	QoSMix float64

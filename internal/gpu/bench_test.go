@@ -12,6 +12,7 @@ package gpu
 import (
 	"testing"
 
+	"ugpu/internal/power"
 	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 )
@@ -74,6 +75,45 @@ func BenchmarkSteadyStateCycles(b *testing.B) {
 // alloc_test.go asserts both variants stay at zero allocs per cycle.
 func BenchmarkSteadyStateCyclesTraced(b *testing.B) {
 	g := benchGPUTraced(b, trace.New(1<<15))
+	g.Run(20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(uint64(b.N))
+}
+
+// benchGPUPower is benchGPU with the power subsystem enabled; every domain
+// sits at nominal frequency, the steady-state common case the cost contract
+// prices at a single SMAllNominal branch per cycle.
+func benchGPUPower(b *testing.B) *GPU {
+	b.Helper()
+	cfg := testConfig()
+	lbm, err := workload.ByAbbr("LBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dxtc, err := workload.ByAbbr("DXTC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.FootprintScale = 64
+	opt.Power = &power.Config{}
+	g, err := New(cfg, []AppSpec{
+		{Bench: lbm, SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: dxtc, SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSteadyStateCyclesDVFS is BenchmarkSteadyStateCycles with the
+// power subsystem enabled at nominal frequency. Comparing ns/op against the
+// base benchmark gives the recorded DVFS tax on the per-cycle hot path
+// (BENCH_power.json; regression budget 2%).
+func BenchmarkSteadyStateCyclesDVFS(b *testing.B) {
+	g := benchGPUPower(b)
 	g.Run(20_000)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -187,10 +187,19 @@ func (g *GPU) onSMWake(s *sm.SM) {
 // settleSM credits a parked SM with the ActiveCycles/StallCycles it would
 // have accrued ticking through [smParkedAt, g.cycle): a parked SM is Active
 // or Draining with every warp blocked, and such a tick does exactly one
-// ActiveCycles++ and one StallCycles++ and nothing else.
+// ActiveCycles++ and one StallCycles++ and nothing else. Under DVFS the SM
+// only ticks on its domain's gate-open cycles, so the credit is the closed
+// form of the same gate the per-cycle paths evaluate (exact because state
+// changes happen only at epoch boundaries, after all parked SMs settle).
 func (g *GPU) settleSM(id int) {
 	if at := g.smParkedAt[id]; g.cycle > at {
-		g.sms[id].AccrueStall(g.cycle - at)
+		n := g.cycle - at
+		if g.pm != nil {
+			n = g.pm.SMOpenCycles(id, at, g.cycle)
+		}
+		if n > 0 {
+			g.sms[id].AccrueStall(n)
+		}
 		g.smParkedAt[id] = g.cycle
 	}
 }
@@ -228,8 +237,21 @@ func (g *GPU) tickSMs(c uint64) {
 	a := g.activeSM
 	kept := a[:0]
 	switching := 0
+	// Hoisted DVFS check: when every SM domain is settled at nominal (the
+	// steady-state common case) the per-SM gate is a guaranteed no-op, so
+	// skip it for the whole cycle with one branch.
+	gated := g.pm != nil && !g.pm.SMAllNominal()
 	for _, id := range a {
 		s := g.sms[id]
+		if gated {
+			// DVFS issue gate (mirrors the NoFastForward loop): a gated
+			// Active/Draining SM does nothing this cycle but must stay in
+			// the set — its state cannot have changed.
+			if st := s.State(); (st == sm.Active || st == sm.Draining) && !g.pm.SMOpen(int(id), c) {
+				kept = append(kept, id)
+				continue
+			}
+		}
 		s.Tick(c, g)
 		s.RetryBlocked(c, g)
 		switch s.State() {

@@ -21,6 +21,7 @@ import (
 	"ugpu/internal/dram"
 	"ugpu/internal/fault"
 	"ugpu/internal/noc"
+	"ugpu/internal/power"
 	"ugpu/internal/sm"
 	"ugpu/internal/tlb"
 	"ugpu/internal/trace"
@@ -68,6 +69,11 @@ type Options struct {
 	// elision, so results are byte-identical either way; the escape hatch
 	// exists for differential testing and perf comparison.
 	NoFastForward bool
+	// Power enables the DVFS/power-management subsystem (ISSUE 8): per-SM-
+	// domain issue gating, per-channel burst stretching, and the per-state
+	// energy meter. nil leaves every domain at nominal frequency with no
+	// manager allocated.
+	Power *power.Config
 }
 
 // DefaultOptions returns the UGPU-with-PageMove configuration: fault-driven
@@ -291,6 +297,9 @@ type GPU struct {
 	// Correctness sampling.
 	checkTick uint64
 
+	// Power management (ISSUE 8): nil when Options.Power is unset.
+	pm *power.Manager
+
 	// transVersion invalidates per-warp translation filters on any page
 	// migration or channel reallocation.
 	transVersion uint64
@@ -445,6 +454,33 @@ func New(cfg config.Config, specs []AppSpec, opt Options) (*GPU, error) {
 		g.walkDone(done, tlb.AppOf(key), key>>4)
 	}
 	g.hbm.Trace = g.tr
+	if opt.Power != nil {
+		pm, err := power.NewManager(cfg.NumSMs, cfg.NumChannels(), *opt.Power, g.tr)
+		if err != nil {
+			return nil, err
+		}
+		pm.SetHooks(power.Hooks{
+			SMActive: func(dom int) uint64 {
+				g.settleParked()
+				var t uint64
+				for i := range g.sms {
+					if pm.SMDomainOf(i) == dom {
+						t += g.sms[i].Stats().ActiveCycles
+					}
+				}
+				return t
+			},
+			Channel: func(ch int) (uint64, uint64) {
+				st := g.hbm.ChannelStatsSnapshot(ch)
+				return st.Reads + st.Writes, st.Activates
+			},
+			ChannelState: func(ch, num, den int, until uint64) {
+				g.hbm.SetChannelFreq(ch, num, den)
+				g.hbm.ReserveBus(ch, until)
+			},
+		})
+		g.pm = pm
+	}
 	var wake func(*sm.SM)
 	if !opt.NoFastForward {
 		g.smInSet = make([]bool, cfg.NumSMs)
@@ -545,9 +581,23 @@ func (g *GPU) tick() {
 	g.hbm.Tick(c)
 	g.rspNet.Tick(c)
 	if g.opt.NoFastForward {
-		for _, s := range g.sms {
-			s.Tick(c, g)
-			s.RetryBlocked(c, g)
+		if g.pm != nil && !g.pm.SMAllNominal() {
+			for _, s := range g.sms {
+				// DVFS issue gate: a throttled domain's Active/Draining SMs
+				// simply do not tick on gated cycles (their clock is not
+				// running). Switching SMs tick regardless — the context-switch
+				// engine completes on its own schedule.
+				if st := s.State(); (st == sm.Active || st == sm.Draining) && !g.pm.SMOpen(s.ID, c) {
+					continue
+				}
+				s.Tick(c, g)
+				s.RetryBlocked(c, g)
+			}
+		} else {
+			for _, s := range g.sms {
+				s.Tick(c, g)
+				s.RetryBlocked(c, g)
+			}
 		}
 	} else {
 		g.tickSMs(c)
@@ -642,4 +692,45 @@ func (g *GPU) SMActiveCycles() uint64 {
 		t += s.Stats().ActiveCycles
 	}
 	return t
+}
+
+// PowerManager returns the DVFS manager, or nil when Options.Power is unset.
+func (g *GPU) PowerManager() *power.Manager { return g.pm }
+
+// PowerReport finalizes the DVFS energy attribution at the current cycle and
+// returns the per-state-scaled breakdown (zero when no manager exists).
+// Migration transfer energy is attributed from the HBM migration counter.
+func (g *GPU) PowerReport() power.Breakdown {
+	if g.pm == nil {
+		return power.Breakdown{}
+	}
+	return g.pm.Report(g.cycle, g.hbm.TotalStats().Migrations)
+}
+
+// AppendPowerDomains appends the SM frequency domains and global channels
+// slot's current allocation touches (deduplicated, deterministic order) —
+// the governor's per-slice domain view.
+func (g *GPU) AppendPowerDomains(slot int, smDoms, chs []int) ([]int, []int) {
+	if g.pm == nil || slot >= len(g.apps) {
+		return smDoms, chs
+	}
+	app := g.apps[slot]
+	nDom := g.pm.NumSMDomains()
+	seen := make([]bool, nDom)
+	for _, id := range app.SMs {
+		if d := g.pm.SMDomainOf(id); !seen[d] {
+			seen[d] = true
+		}
+	}
+	for d := 0; d < nDom; d++ {
+		if seen[d] {
+			smDoms = append(smDoms, d)
+		}
+	}
+	for _, grp := range app.Groups {
+		for s := 0; s < g.cfg.NumStacks; s++ {
+			chs = append(chs, s*g.cfg.ChannelsPerStack+grp)
+		}
+	}
+	return smDoms, chs
 }

@@ -10,6 +10,7 @@ import (
 	"ugpu/internal/config"
 	"ugpu/internal/core"
 	"ugpu/internal/gpu"
+	"ugpu/internal/power"
 	"ugpu/internal/workload"
 )
 
@@ -205,6 +206,23 @@ func DefaultEnergy() EnergyModel {
 		DRAMAccess:    2.0,
 		DRAMMigration: 2.4,
 		DRAMStatic:    0.009,
+	}
+}
+
+// PowerWeights converts the model to the power subsystem's weight struct:
+// the DVFS energy meter attributes exactly these per-event terms to the
+// operating state they were spent in, so an all-nominal power report equals
+// Energy. DefaultEnergy().PowerWeights() == power.DefaultWeights() is pinned
+// by test.
+func (m EnergyModel) PowerWeights() power.EnergyWeights {
+	return power.EnergyWeights{
+		SMActiveCycle: m.SMActiveCycle,
+		SMIdleCycle:   m.SMIdleCycle,
+		CoreStatic:    m.CoreStatic,
+		DRAMActivate:  m.DRAMActivate,
+		DRAMAccess:    m.DRAMAccess,
+		DRAMMigration: m.DRAMMigration,
+		DRAMStatic:    m.DRAMStatic,
 	}
 }
 

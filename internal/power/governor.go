@@ -1,0 +1,312 @@
+package power
+
+// The per-GPU governor (ISSUE 8 tentpole part 2/3): steps at epoch
+// boundaries, reads the same profiling signal that drives unbalanced
+// partitioning (the demand/supply memory-boundedness degree), and applies
+// the paper's insight to frequency instead of allocation — a memory-bound
+// slice's SMs are mostly stalled on DRAM, so downclocking them converts
+// full-price stalled-active cycles into cheap gated cycles with little IPC
+// cost, while a compute-bound slice's channels idle and can run slower.
+// Hysteresis (classification streaks plus a post-change hold) keeps
+// decisions stable; a power-cap controller layered on top shaves best-effort
+// slices to their frequency floor before touching latency-critical ones.
+
+// Slice is one resident tenant's view for a governor step, in ascending
+// slot order.
+type Slice struct {
+	// Slot is the application slot.
+	Slot int
+	// Gen identifies the tenant occupying the slot (job id in serving,
+	// the slot itself closed-world); a change resets the slot's hysteresis.
+	Gen int
+	// LC marks a latency-critical tenant: the efficiency pass limits it to
+	// LCMaxStep and the cap controller shaves it only after every
+	// best-effort slice is at the floor.
+	LC bool
+	// MemDegree is the slice's demand/supply ratio from the partitioning
+	// model (>1 = memory-bound).
+	MemDegree float64
+	// SMDomains and Channels are the frequency domains the slice's
+	// allocation touches this epoch.
+	SMDomains []int
+	Channels  []int
+}
+
+// GovernorConfig tunes the governor; zero fields take defaults.
+type GovernorConfig struct {
+	// Cap is this GPU's power budget in watts (0 = uncapped). The cluster
+	// arbiter overrides it per epoch via SetCap.
+	Cap float64
+	// MemHigh: a slice at or above this degree for StreakEpochs epochs has
+	// its SMs stepped down one state. The default sits just above the
+	// memory-bound classification boundary (degree 1): above it, issue-rate
+	// cuts convert stalled-active cycles to gated ones with little IPC cost.
+	MemHigh float64
+	// MemLow: a slice at or below this degree is stepped back up.
+	MemLow float64
+	// ChanLow: a slice at or below this degree (ample bandwidth headroom)
+	// for StreakEpochs epochs has its channels stepped down.
+	ChanLow float64
+	// ChanHigh: a slice at or above this degree has its channels restored.
+	ChanHigh float64
+	// LCMaxStep caps how far the efficiency pass may downclock an LC
+	// slice's SMs (0 = never).
+	LCMaxStep int
+	// StreakEpochs is how many consecutive epochs a classification must
+	// hold before a step.
+	StreakEpochs int
+	// HoldEpochs is the post-change cooldown before the next step.
+	HoldEpochs int
+	// CapHysteresis is the fraction of Cap below which the controller
+	// starts undoing cap-forced steps (the [h·Cap, Cap] band is stable).
+	CapHysteresis float64
+}
+
+func (c GovernorConfig) withDefaults() GovernorConfig {
+	if c.MemHigh == 0 {
+		c.MemHigh = 1.15
+	}
+	if c.MemLow == 0 {
+		c.MemLow = 1.05
+	}
+	if c.ChanLow == 0 {
+		c.ChanLow = 0.45
+	}
+	if c.ChanHigh == 0 {
+		c.ChanHigh = 0.75
+	}
+	if c.StreakEpochs == 0 {
+		c.StreakEpochs = 2
+	}
+	if c.HoldEpochs == 0 {
+		c.HoldEpochs = 1
+	}
+	if c.CapHysteresis == 0 {
+		c.CapHysteresis = 0.90
+	}
+	return c
+}
+
+// slotGov is one slot's hysteresis state.
+type slotGov struct {
+	gen       int
+	memStreak int
+	upStreak  int
+	dnChan    int
+	upChan    int
+	hold      int
+	holdChan  int
+	smState   int
+	chState   int
+}
+
+// Governor owns the DVFS policy for one GPU. It is purely epoch-boundary
+// code: Step never runs inside a simulated span.
+type Governor struct {
+	m   *Manager
+	cfg GovernorConfig
+
+	slots    []slotGov
+	capDepth int
+	clamped  bool
+
+	desSM []int // scratch: per-domain desired state
+	desCh []int
+}
+
+// NewGovernor builds a governor over the manager's domains for up to
+// maxSlots resident tenants.
+func NewGovernor(m *Manager, maxSlots int, cfg GovernorConfig) *Governor {
+	g := &Governor{
+		m:     m,
+		cfg:   cfg.withDefaults(),
+		slots: make([]slotGov, maxSlots),
+		desSM: make([]int, m.NumSMDomains()),
+		desCh: make([]int, m.NumChannels()),
+	}
+	for i := range g.slots {
+		g.slots[i].gen = -1
+	}
+	return g
+}
+
+// SetCap replaces the power budget (cluster arbitration path).
+func (g *Governor) SetCap(watts float64) { g.cfg.Cap = watts }
+
+// Cap returns the current budget (0 = uncapped).
+func (g *Governor) Cap() float64 { return g.cfg.Cap }
+
+// Clamped reports whether the cap controller is at the frequency floor with
+// measured power still over budget.
+func (g *Governor) Clamped() bool { return g.clamped }
+
+// CapDepth is the number of cap-forced extra down-steps currently applied.
+func (g *Governor) CapDepth() int { return g.capDepth }
+
+// maxDepth is the cap controller's travel: BE slices to both floors first,
+// then LC slices to both floors.
+func (g *Governor) maxDepth() int {
+	return 2 * ((len(g.m.cfg.SMStates) - 1) + (len(g.m.cfg.HBMStates) - 1))
+}
+
+// Step runs one governor epoch: update per-slice hysteresis, run the cap
+// feedback loop, and apply the resulting per-domain states. slices must be
+// in ascending slot order; an empty list parks every domain at the floor
+// (a zero-tenant GPU burns only throttled idle power). Deterministic: all
+// inputs are simulation state, all iteration is index-ordered.
+func (g *Governor) Step(cycle uint64, slices []Slice) {
+	m := g.m
+	maxSM := len(m.cfg.SMStates) - 1
+	maxCh := len(m.cfg.HBMStates) - 1
+	g.stepCap(cycle)
+
+	// Efficiency pass: per-slice hysteresis toward the classification.
+	for i := range slices {
+		s := &slices[i]
+		st := &g.slots[s.Slot]
+		if st.gen != s.Gen {
+			*st = slotGov{gen: s.Gen}
+		}
+		limSM := maxSM
+		if s.LC {
+			limSM = min(g.cfg.LCMaxStep, maxSM)
+		}
+		if s.MemDegree >= g.cfg.MemHigh {
+			st.memStreak++
+		} else {
+			st.memStreak = 0
+		}
+		if s.MemDegree <= g.cfg.MemLow {
+			st.upStreak++
+		} else {
+			st.upStreak = 0
+		}
+		if st.hold > 0 {
+			st.hold--
+		} else if st.memStreak >= g.cfg.StreakEpochs && st.smState < limSM {
+			st.smState++
+			st.hold = g.cfg.HoldEpochs
+			st.memStreak = 0
+		} else if st.upStreak >= g.cfg.StreakEpochs && st.smState > 0 {
+			st.smState--
+			st.hold = g.cfg.HoldEpochs
+			st.upStreak = 0
+		}
+		if st.smState > limSM {
+			// An LC tenant replaced a BE one mid-flight or the limit
+			// tightened; recover immediately.
+			st.smState = limSM
+		}
+		// Channels: the mirror image. LC slices keep nominal bandwidth.
+		limCh := maxCh
+		if s.LC {
+			limCh = 0
+		}
+		if s.MemDegree <= g.cfg.ChanLow {
+			st.dnChan++
+		} else {
+			st.dnChan = 0
+		}
+		if s.MemDegree >= g.cfg.ChanHigh {
+			st.upChan++
+		} else {
+			st.upChan = 0
+		}
+		if st.holdChan > 0 {
+			st.holdChan--
+		} else if st.dnChan >= g.cfg.StreakEpochs && st.chState < limCh {
+			st.chState++
+			st.holdChan = g.cfg.HoldEpochs
+			st.dnChan = 0
+		} else if st.upChan >= g.cfg.StreakEpochs && st.chState > 0 {
+			st.chState--
+			st.holdChan = g.cfg.HoldEpochs
+			st.upChan = 0
+		}
+		if st.chState > limCh {
+			st.chState = limCh
+		}
+	}
+
+	// Resolve per-domain desired states: unowned domains park at the
+	// floor; shared domains take the fastest owner's wish.
+	for i := range g.desSM {
+		g.desSM[i] = maxSM
+	}
+	for i := range g.desCh {
+		g.desCh[i] = maxCh
+	}
+	beSM, beCh, lcSM, lcCh := g.capExtra(maxSM, maxCh)
+	for i := range slices {
+		s := &slices[i]
+		st := &g.slots[s.Slot]
+		wantSM, wantCh := st.smState, st.chState
+		if s.LC {
+			wantSM = min(wantSM+lcSM, maxSM)
+			wantCh = min(wantCh+lcCh, maxCh)
+		} else {
+			wantSM = min(wantSM+beSM, maxSM)
+			wantCh = min(wantCh+beCh, maxCh)
+		}
+		for _, d := range s.SMDomains {
+			if wantSM < g.desSM[d] {
+				g.desSM[d] = wantSM
+			}
+		}
+		for _, c := range s.Channels {
+			if wantCh < g.desCh[c] {
+				g.desCh[c] = wantCh
+			}
+		}
+	}
+	for d, want := range g.desSM {
+		m.SetSMState(cycle, d, want)
+	}
+	for c, want := range g.desCh {
+		m.SetChannelState(cycle, c, want)
+	}
+}
+
+// capExtra splits capDepth into extra down-steps: BE SMs, then BE channels,
+// then LC SMs, then LC channels.
+func (g *Governor) capExtra(maxSM, maxCh int) (beSM, beCh, lcSM, lcCh int) {
+	d := g.capDepth
+	beSM = min(d, maxSM)
+	d -= beSM
+	beCh = min(d, maxCh)
+	d -= beCh
+	lcSM = min(d, maxSM)
+	d -= lcSM
+	lcCh = min(d, maxCh)
+	return
+}
+
+// stepCap runs the power-cap feedback loop: one depth step per epoch toward
+// the budget, a hysteresis band so a borderline load does not oscillate, and
+// a single clamp-enter trace event when the floor cannot satisfy the cap.
+func (g *Governor) stepCap(cycle uint64) {
+	if g.cfg.Cap <= 0 {
+		g.capDepth = 0
+		if g.clamped {
+			g.clamped = false
+			g.m.Emit(EventClampExit, cycle, 0, int64(g.capDepth), 0)
+		}
+		return
+	}
+	p := g.m.EpochPower(cycle)
+	switch {
+	case p > g.cfg.Cap:
+		if g.capDepth < g.maxDepth() {
+			g.capDepth++
+		} else if !g.clamped {
+			g.clamped = true
+			g.m.Emit(EventClampEnter, cycle, 0, int64(g.capDepth), int64(g.cfg.Cap))
+		}
+	case p <= g.cfg.Cap*g.cfg.CapHysteresis && g.capDepth > 0:
+		g.capDepth--
+	}
+	if g.clamped && p <= g.cfg.Cap {
+		g.clamped = false
+		g.m.Emit(EventClampExit, cycle, 0, int64(g.capDepth), int64(g.cfg.Cap))
+	}
+}

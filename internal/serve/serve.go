@@ -20,8 +20,10 @@ import (
 	"fmt"
 
 	"ugpu/internal/config"
+	"ugpu/internal/core"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
+	"ugpu/internal/power"
 	"ugpu/internal/trace"
 	"ugpu/internal/workload"
 )
@@ -98,6 +100,10 @@ type Config struct {
 	// Alone supplies solo-IPC references; nil builds one from Sim/Opt.
 	// Sweeps share one instance so each benchmark is measured once.
 	Alone *metrics.AloneIPC
+	// PowerCap is the GPU power budget in watts for the DVFS governor
+	// (0 = uncapped). Effective only when Opt carries a power config; the
+	// cluster arbiter adjusts it per epoch via SetPowerCap.
+	PowerCap float64
 }
 
 // Validate checks the serving capacity knobs before any GPU is built,
@@ -129,6 +135,10 @@ func (c Config) Validate() error {
 	if c.SLO.BESlowdown < 0 {
 		return &config.FieldError{Field: "serve.SLO.BESlowdown", Value: c.SLO.BESlowdown,
 			Reason: "must be >= 0 (zero SLOSpec means metrics.DefaultSLO)"}
+	}
+	if c.PowerCap < 0 {
+		return &config.FieldError{Field: "serve.PowerCap", Value: int(c.PowerCap),
+			Reason: "must be >= 0 watts (0 means uncapped)"}
 	}
 	if c.Jobs == nil {
 		if err := c.Arrivals.Validate(); err != nil {
@@ -175,6 +185,14 @@ type Report struct {
 	Outcomes []metrics.JobOutcome
 	// SLO is the folded report over Outcomes.
 	SLO metrics.SLOReport
+
+	// Served is the total instructions credited to tenants.
+	Served uint64
+	// Energy is the DVFS-scaled energy breakdown (zero value when the run
+	// had no power config).
+	Energy power.Breakdown
+	// MeanPower is the run-average power in watts (0 without a power config).
+	MeanPower float64
 }
 
 // jobState tracks one arrival through the system.
@@ -204,6 +222,8 @@ type Server struct {
 	resident [gpu.MaxApps]*jobState
 	last     []gpu.EpochStats
 	admitSeq int
+	served   uint64
+	gov      *power.Governor
 
 	epochs      int
 	attaches    int
@@ -283,6 +303,7 @@ func (s *Server) boundary(cycle int) error {
 			continue
 		}
 		js.served += stats[slot].Instructions
+		s.served += stats[slot].Instructions
 		if js.served >= js.work {
 			js.finish = cycle
 			s.g.Tracer().Emit(trace.KJobDone, uint64(cycle), int32(slot), int32(js.job.ID),
@@ -350,8 +371,69 @@ func (s *Server) boundary(cycle int) error {
 	if err := s.g.CheckInvariants(); err != nil {
 		return fmt.Errorf("serve: cycle %d: %w", cycle, err)
 	}
+
+	// The DVFS governor steps last so domain ownership reflects this
+	// boundary's admissions and repartition.
+	s.stepPower(uint64(cycle))
 	return nil
 }
+
+// stepPower runs the DVFS governor for one epoch boundary: resident tenants
+// become governor slices (LC flag from the job's QoS class, generation from
+// the job ID so hysteresis resets on tenant churn). Vacated slots drop out
+// of the slice list and their domains park at the frequency floor.
+func (s *Server) stepPower(cycle uint64) {
+	pm := s.g.PowerManager()
+	if pm == nil {
+		return
+	}
+	if s.gov == nil {
+		s.gov = power.NewGovernor(pm, gpu.MaxApps, power.GovernorConfig{Cap: s.cfg.PowerCap})
+	}
+	bw := core.BandwidthFor(s.cfg.Sim)
+	var slices []power.Slice
+	for slot, js := range s.resident {
+		if js == nil {
+			continue
+		}
+		sl := power.Slice{
+			Slot: slot,
+			Gen:  js.job.ID,
+			LC:   js.job.Class == workload.LatencyCritical,
+		}
+		if slot < len(s.last) {
+			sl.MemDegree = bw.Degree(core.ProfileOf(s.last[slot]))
+		}
+		sl.SMDomains, sl.Channels = s.g.AppendPowerDomains(slot, nil, nil)
+		slices = append(slices, sl)
+	}
+	s.gov.Step(cycle, slices)
+}
+
+// SetPowerCap replaces the GPU's power budget in watts (cluster arbitration
+// path; 0 = uncapped). A no-op without a power config.
+func (s *Server) SetPowerCap(watts float64) {
+	s.cfg.PowerCap = watts
+	if s.gov != nil {
+		s.gov.SetCap(watts)
+	}
+}
+
+// LastPower is the governor's most recent epoch-mean power reading in watts
+// (0 before the first boundary or without a power config).
+func (s *Server) LastPower() float64 {
+	if pm := s.g.PowerManager(); pm != nil {
+		return pm.LastPower()
+	}
+	return 0
+}
+
+// Governor exposes the DVFS governor (nil until the first boundary of a
+// power-enabled run).
+func (s *Server) Governor() *power.Governor { return s.gov }
+
+// Served is the total instructions credited to tenants so far.
+func (s *Server) Served() uint64 { return s.served }
 
 // detach begins the two-phase removal of a resident tenant.
 func (s *Server) detach(cycle, slot int) error {
@@ -757,6 +839,13 @@ func (s *Server) report() *Report {
 		})
 	}
 	r.SLO = metrics.BuildSLOReport(r.Outcomes, s.cfg.SLO, s.cfg.Sim.MaxCycles)
+	r.Served = s.served
+	if pm := s.g.PowerManager(); pm != nil {
+		r.Energy = s.g.PowerReport()
+		if c := s.g.Cycle(); c > 0 {
+			r.MeanPower = r.Energy.Total / float64(c) * pm.WattsPerUnit()
+		}
+	}
 	return r
 }
 

@@ -91,6 +91,9 @@ const (
 	// CatCluster covers cluster-level failover: whole-GPU crashes,
 	// checkpoints, cross-GPU re-dispatch, and brownout transitions.
 	CatCluster
+	// CatPower covers the power-management subsystem: DVFS state
+	// transitions, power-cap assignment, and cap clamping.
+	CatPower
 	numCategories
 )
 
@@ -111,6 +114,8 @@ func (c Category) String() string {
 		return "watchdog"
 	case CatCluster:
 		return "cluster"
+	case CatPower:
+		return "power"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }
@@ -242,6 +247,13 @@ const (
 	// a0=QoS class, a1=shed reason (metrics.ShedReason numeric).
 	KShed
 
+	// KPower: the power-management subsystem changed state. unit=domain id
+	// (SM frequency domain, power.ChannelDomainBase+channel for an HBM
+	// channel, or GPU index for budget events), app=owning slot or -1,
+	// a0=power.EventKind numeric (SM/HBM transition, cap assignment, clamp
+	// enter/exit), a1=old value, a2=new value (P-state index or watts).
+	KPower
+
 	numKinds
 )
 
@@ -287,6 +299,7 @@ var kindInfo = [numKinds]struct {
 	KRedispatch:     {"redispatch", CatCluster, SevWarn},
 	KBrownout:       {"brownout", CatCluster, SevWarn},
 	KShed:           {"job-shed", CatCluster, SevWarn},
+	KPower:          {"power", CatPower, SevInfo},
 }
 
 // String returns the kind's short hyphenated name.

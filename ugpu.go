@@ -31,6 +31,7 @@ import (
 	"ugpu/internal/fault"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
+	"ugpu/internal/power"
 	"ugpu/internal/serve"
 	"ugpu/internal/workload"
 )
@@ -342,3 +343,40 @@ type ShedReason = metrics.ShedReason
 
 // CrashOutcome is one whole-GPU loss with its recovery point.
 type CrashOutcome = metrics.CrashOutcome
+
+// Power management (extension, see DESIGN.md "Power management"): a
+// deterministic DVFS model with discrete operating points per SM frequency
+// domain and per HBM channel, an epoch-boundary governor driven by the same
+// demand/supply profiling that drives partitioning, and a power-cap
+// controller. Enable by setting Options.Power (e.g. to &PowerConfig{});
+// byte-identity across -parallel and fast-forward on/off is preserved.
+
+// PowerConfig selects the DVFS tables and model constants (zero fields take
+// package defaults).
+type PowerConfig = power.Config
+
+// PState is one discrete frequency/voltage operating point.
+type PState = power.PState
+
+// PowerBreakdown is the DVFS-scaled energy report of a run.
+type PowerBreakdown = power.Breakdown
+
+// PowerGovernorConfig tunes the per-GPU DVFS governor and cap controller.
+type PowerGovernorConfig = power.GovernorConfig
+
+// Power model defaults.
+var (
+	// DefaultSMStates is the SM-domain operating-point table (nominal plus
+	// three throttle points).
+	DefaultSMStates = power.DefaultSMStates
+	// DefaultHBMStates is the HBM-channel operating-point table.
+	DefaultHBMStates = power.DefaultHBMStates
+	// DefaultPowerWeights returns the event-energy weights the meter
+	// attributes per operating state (equal to DefaultEnergy's).
+	DefaultPowerWeights = power.DefaultWeights
+)
+
+// NewUGPUEnergy is the energy-aware partitioning variant: the UGPU
+// demand-aware algorithm plus a release pass that sheds SMs from strongly
+// memory-bound slices to optimize IPC/watt, with DVFS enabled.
+var NewUGPUEnergy = core.NewUGPUEnergy
