@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke failover-smoke power-smoke trace-smoke ff-smoke experiments bench-json clean
+.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke failover-smoke power-smoke trace-smoke ff-smoke digest-smoke experiments bench-json clean
 
 all: check
 
@@ -126,6 +126,38 @@ ff-smoke:
 	cat ff-faults-on.txt ff-serve-on.txt
 	rm -f ff-faults-on.txt ff-faults-off.txt ff-serve-on.txt ff-serve-off.txt \
 		ff-faults-on.jsonl ff-faults-off.jsonl ff-serve-on.jsonl ff-serve-off.jsonl
+
+## digest-smoke: state-digest mode-invariance; the fault, serve, and failover
+## smokes run with per-epoch state digesting on (-digest), and each figure's
+## folded "state digest" line — a chained FNV digest of every stateful
+## component of every cell — must be byte-identical across serial vs parallel
+## fan-out and with the fast-forward engine on vs off. These sweeps run at
+## nominal DVFS (no governor), so the digest covers the same state the
+## power-smoke arms start from. A missing digest line fails the run
+## (CI smoke job)
+digest-smoke:
+	$(GO) run ./cmd/experiments $(FAULT_SMOKE_FLAGS) -digest -parallel 1 > digest-faults-serial.txt
+	$(GO) run ./cmd/experiments $(FAULT_SMOKE_FLAGS) -digest -parallel 8 > digest-faults-parallel.txt
+	$(GO) run ./cmd/experiments $(FAULT_SMOKE_FLAGS) -digest -parallel 1 -no-fastforward > digest-faults-noff.txt
+	grep "state digest" digest-faults-serial.txt
+	cmp digest-faults-serial.txt digest-faults-parallel.txt
+	cmp digest-faults-serial.txt digest-faults-noff.txt
+	$(GO) run ./cmd/experiments $(SERVE_SMOKE_FLAGS) -digest -parallel 1 > digest-serve-serial.txt
+	$(GO) run ./cmd/experiments $(SERVE_SMOKE_FLAGS) -digest -parallel 8 > digest-serve-parallel.txt
+	$(GO) run ./cmd/experiments $(SERVE_SMOKE_FLAGS) -digest -parallel 1 -no-fastforward > digest-serve-noff.txt
+	grep "state digest" digest-serve-serial.txt
+	cmp digest-serve-serial.txt digest-serve-parallel.txt
+	cmp digest-serve-serial.txt digest-serve-noff.txt
+	$(GO) run ./cmd/experiments $(FAILOVER_SMOKE_FLAGS) -digest -parallel 1 -trace-out digest-failover.jsonl > digest-failover-serial.txt
+	$(GO) run ./cmd/experiments $(FAILOVER_SMOKE_FLAGS) -digest -parallel 8 -trace-out digest-failover.jsonl > digest-failover-parallel.txt
+	$(GO) run ./cmd/experiments $(FAILOVER_SMOKE_FLAGS) -digest -parallel 1 -no-fastforward -trace-out digest-failover.jsonl > digest-failover-noff.txt
+	grep "state digest" digest-failover-serial.txt
+	cmp digest-failover-serial.txt digest-failover-parallel.txt
+	cmp digest-failover-serial.txt digest-failover-noff.txt
+	rm -f digest-faults-serial.txt digest-faults-parallel.txt digest-faults-noff.txt \
+		digest-serve-serial.txt digest-serve-parallel.txt digest-serve-noff.txt \
+		digest-failover-serial.txt digest-failover-parallel.txt digest-failover-noff.txt \
+		digest-failover.jsonl
 
 ## experiments: regenerate every figure at the recorded scale
 experiments:

@@ -8,6 +8,7 @@
 //	            [-faults spec] [-fault-seed N] [-watchdog-timeout N]
 //	            [-arrival-rate R] [-qos-mix F] [-serve-seed N]
 //	            [-power-cap W] [-dvfs=false]
+//	            [-digest] [-digest-every N] [-bisect A,B]
 //	            [-trace] [-trace-out path] [-trace-filter spec] [-pprof prefix]
 //	            [-bench-json path] [-v]
 //
@@ -22,6 +23,16 @@
 // categories and minimum severity ("migration,fault,sev=warn"); the JSONL
 // is byte-identical at any -parallel count. -pprof writes
 // <prefix>.cpu.pprof and <prefix>.mem.pprof runtime profiles.
+//
+// -digest records a per-epoch machine-state digest chain in every
+// simulation (-digest-every N thins it to every Nth epoch) and appends the
+// folded chain to the sweep figures' notes: two invocations that differ only
+// in execution mode (-parallel count, -fastforward, -trace) must print the
+// same digest, and `make digest-smoke` asserts exactly that. -bisect A,B
+// localizes a divergence between two mode arms ('+'-joined tokens from ff,
+// noff, trace, notrace): it binary-searches the two runs' digest chains for
+// the first divergent epoch, then replays that epoch to name the first
+// divergent component and cycle.
 //
 // -bench-json runs the selected figures twice (serial, then parallel),
 // records wall-clock, allocation counts, and the hot-path micro-benchmark,
@@ -120,6 +131,9 @@ func main() {
 		traceFilter = flag.String("trace-filter", "", "trace category/severity filter, e.g. \"migration,fault,sev=warn\" (empty = everything)")
 		fastForward = flag.Bool("fastforward", true, "event-driven fast-forward engine: skip provably-dead cycles and idle SMs (results are byte-identical either way)")
 		noFastFwd   = flag.Bool("no-fastforward", false, "disable the fast-forward engine (same as -fastforward=false)")
+		digestOn    = flag.Bool("digest", false, "record per-epoch machine-state digest chains and print them in sweep notes")
+		digestEvery = flag.Int("digest-every", 0, "record a state digest every N epochs (implies -digest; 0 with -digest means every epoch)")
+		bisect      = flag.String("bisect", "", "localize a state divergence between two mode arms, e.g. \"ff,noff\" or \"ff+trace,noff\" (tokens: ff, noff, trace, notrace)")
 		pprofPrefix = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.mem.pprof runtime profiles")
 		benchJSON   = flag.String("bench-json", "", "write a serial-vs-parallel benchmark report to this path and exit")
 		verbose     = flag.Bool("v", false, "log per-run progress")
@@ -159,6 +173,29 @@ func main() {
 		opt.Cfg.WatchdogCycles = *watchdog
 	case *watchdog < 0:
 		opt.Cfg.WatchdogCycles = 0
+	}
+	if *digestEvery > 0 {
+		opt.Cfg.DigestEvery = *digestEvery
+	} else if *digestOn {
+		opt.Cfg.DigestEvery = 1
+	}
+
+	if *bisect != "" {
+		a, b, err := experiments.ParseBisectSpec(*bisect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		res, err := opt.Bisect(a, b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bisect: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		if !res.Agree {
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Tracing: the sweeps stream JSONL into an in-memory buffer (runs are

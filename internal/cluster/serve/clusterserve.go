@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"ugpu/internal/config"
+	"ugpu/internal/digest"
 	"ugpu/internal/fault"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
@@ -288,6 +289,10 @@ type Frontend struct {
 	epochs   int
 	shed     int
 	rejected int
+
+	// Cluster state digest chain (digest.go), recorded every
+	// Sim.DigestEvery epochs.
+	digestChain digest.Chain
 }
 
 // New validates the configuration, generates the cluster-wide arrival
@@ -380,6 +385,13 @@ type Report struct {
 	Energy power.Breakdown
 	// MeanPower is the cluster mean power in watts over the run.
 	MeanPower float64
+
+	// Digest is the cluster-level per-epoch digest chain and BackendDigests
+	// the per-GPU chains (crashed GPUs keep theirs up to the crash); all
+	// empty when Sim.DigestEvery is 0. The cluster chain's final link also
+	// lands in SLO.StateDigest.
+	Digest         digest.Chain
+	BackendDigests []digest.Chain
 }
 
 // Run executes the cluster serve loop to the horizon. On total cluster
@@ -414,6 +426,7 @@ func (f *Frontend) Run() (*Report, error) {
 			return nil, err
 		}
 		f.epochs++
+		f.maybeDigest(cycle)
 	}
 	return f.report(cycle), nil
 }
@@ -821,6 +834,14 @@ func (f *Frontend) report(cycle uint64) *Report {
 			AliveGPUCycles: alive,
 			LostWork:       f.lostWork,
 		})
+	if len(f.digestChain) > 0 {
+		r.Digest = f.digestChain
+		r.BackendDigests = make([]digest.Chain, len(f.backends))
+		for i, b := range f.backends {
+			r.BackendDigests[i] = b.DigestChain()
+		}
+		r.SLO.StateDigest = f.digestChain.Final()
+	}
 	return r
 }
 

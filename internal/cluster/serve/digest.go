@@ -1,0 +1,70 @@
+package clusterserve
+
+// Cluster-level state digests (ISSUE 9). Each backend records its own
+// per-epoch chain (serve.Server.DigestChain, driven through StepEpoch); the
+// frontend records a cluster chain on top: its scheduler state — tracks,
+// class queues, brownout tier, crash log — folded with every backend's
+// running chain link. Both land in the Report so two cluster runs compare
+// with digest.FirstDivergence exactly like single-GPU runs; the per-backend
+// chains then localize which GPU diverged.
+
+import "ugpu/internal/digest"
+
+func trackHash(tk *track) digest.Hash {
+	return digest.New().Int(tk.job.ID).Int(int(tk.job.Class)).
+		Int(tk.job.Arrival).Int(tk.job.AloneCycles).
+		Int(int(tk.state)).Int(tk.gpu).
+		U64(tk.served).U64(tk.work).Int(tk.start).Int(tk.preempts).
+		Int(tk.finish).Int(int(tk.shed)).F64(tk.relax).
+		Int(tk.retries).U64(tk.notBefore).Int(tk.crashOf).Int(tk.enqueued)
+}
+
+// appendStateDigest folds the frontend's scheduler state.
+func (f *Frontend) appendStateDigest(h digest.Hash) digest.Hash {
+	h = h.Int(f.nextArr).Int(f.nAlive).Int(f.nextCrash).Int(f.lastCkpt).
+		Int(f.tier).Int(f.belowFor).Int(f.brownouts).Int(f.maxTier).
+		Int(f.epochs).Int(f.shed).Int(f.rejected).F64(f.lostWork)
+	for _, ok := range f.alive {
+		h = h.Bool(ok)
+	}
+	h = h.Int(len(f.tracks))
+	for _, tk := range f.tracks[:f.nextArr] {
+		h = h.U64(uint64(trackHash(tk)))
+	}
+	h = h.Int(len(f.lcQ))
+	for _, tk := range f.lcQ {
+		h = h.Int(tk.job.ID)
+	}
+	h = h.Int(len(f.beQ))
+	for _, tk := range f.beQ {
+		h = h.Int(tk.job.ID)
+	}
+	h = h.Int(len(f.crashLog))
+	for _, c := range f.crashLog {
+		h = h.Int(c.Cycle).Int(c.GPU).Int(c.RecoveredAt)
+	}
+	for _, n := range f.recovering {
+		h = h.Int(n)
+	}
+	for _, cap := range f.caps {
+		h = h.F64(cap)
+	}
+	return h
+}
+
+// maybeDigest records one cluster chain entry when the epoch cadence
+// matches; called right after f.epochs is incremented. Backend chains
+// advance inside StepEpoch (possibly on parallel workers); reading their
+// running links here happens after the ForEach barrier, so the fold is
+// deterministic at any worker count.
+func (f *Frontend) maybeDigest(cycle uint64) {
+	de := f.cfg.Sim.DigestEvery
+	if de <= 0 || (f.epochs-1)%de != 0 {
+		return
+	}
+	h := f.appendStateDigest(digest.New())
+	for _, b := range f.backends {
+		h = h.U64(b.DigestChain().Final())
+	}
+	f.digestChain = f.digestChain.Append(cycle, h)
+}

@@ -81,6 +81,15 @@ type Config struct {
 	// diagnostic snapshot instead of hanging a sweep forever. 0 disables the
 	// watchdog.
 	WatchdogCycles int
+
+	// DigestEvery records a canonical machine-state digest every N epochs
+	// into the run's digest chain (Result.Digest / the serve report). The
+	// chain is byte-identical across execution modes — serial vs parallel,
+	// fast-forward on/off, trace on/off, DVFS nominal — so comparing chains
+	// between two runs localizes the first diverging epoch; the bisector
+	// (-bisect) then names the component and cycle. 0 disables digesting
+	// entirely (zero cost); 1 digests every epoch.
+	DigestEvery int
 }
 
 // HBMTiming holds DRAM timing parameters in memory-controller cycles
@@ -288,6 +297,8 @@ func (c Config) Validate() error {
 		return fieldErr("MigrationCycles", c.MigrationCycles, "must be positive")
 	case c.WatchdogCycles < 0:
 		return fieldErr("WatchdogCycles", c.WatchdogCycles, "must be >= 0 (0 disables the watchdog)")
+	case c.DigestEvery < 0:
+		return fieldErr("DigestEvery", c.DigestEvery, "must be >= 0 (0 disables state digesting)")
 	}
 	return nil
 }

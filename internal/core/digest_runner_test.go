@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"ugpu/internal/config"
+	"ugpu/internal/digest"
+	"ugpu/internal/workload"
+)
+
+// Digest cadence at the runner layer (ISSUE 9): Config.DigestEvery gates a
+// per-epoch chain entry in Result.Digest; 0 must leave the chain empty, and
+// identical runs must produce identical chains link-for-link.
+
+func runDigested(t *testing.T, cfg config.Config, mix workload.Mix) Result {
+	t.Helper()
+	res, err := RunPolicy(cfg, testPolicy(NewBP()), mix)
+	if err != nil {
+		t.Fatalf("RunPolicy: %v", err)
+	}
+	return res
+}
+
+func TestRunnerDigestCadence(t *testing.T) {
+	mix := heteroMix(t)
+
+	cfg := testCfg()
+	if res := runDigested(t, cfg, mix); len(res.Digest) != 0 {
+		t.Errorf("DigestEvery=0 recorded %d chain entries, want 0", len(res.Digest))
+	}
+
+	cfg.DigestEvery = 1
+	res := runDigested(t, cfg, mix)
+	if len(res.Digest) != res.Epochs {
+		t.Errorf("DigestEvery=1 recorded %d chain entries over %d epochs, want one per epoch",
+			len(res.Digest), res.Epochs)
+	}
+	if res.Digest.Final() == 0 {
+		t.Error("final chain link is zero")
+	}
+
+	cfg.DigestEvery = 3
+	sparse := runDigested(t, cfg, mix)
+	want := (res.Epochs + 2) / 3
+	if len(sparse.Digest) != want {
+		t.Errorf("DigestEvery=3 recorded %d chain entries over %d epochs, want %d",
+			len(sparse.Digest), res.Epochs, want)
+	}
+}
+
+func TestRunnerDigestChainDeterministic(t *testing.T) {
+	mix := heteroMix(t)
+	cfg := testCfg()
+	cfg.DigestEvery = 1
+	a := runDigested(t, cfg, mix)
+	b := runDigested(t, cfg, mix)
+	if ep, diff := digest.FirstDivergence(a.Digest, b.Digest); diff {
+		t.Fatalf("identical runs diverge at chain entry %d", ep)
+	}
+	if a.Digest.Final() != b.Digest.Final() {
+		t.Fatalf("final links differ: %#x vs %#x", a.Digest.Final(), b.Digest.Final())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ugpu/internal/config"
+	"ugpu/internal/digest"
 	"ugpu/internal/dram"
 	"ugpu/internal/gpu"
 	"ugpu/internal/power"
@@ -76,6 +77,13 @@ type Result struct {
 	// Power is the DVFS-scaled energy breakdown (zero value when the policy
 	// runs without a power config).
 	Power power.Breakdown
+
+	// Digest is the per-epoch machine-state digest chain, recorded every
+	// Config.DigestEvery epochs (empty when DigestEvery is 0). Two runs of
+	// the same workload in different execution modes must produce identical
+	// chains; digest.FirstDivergence localizes the first epoch where they
+	// do not.
+	Digest digest.Chain
 }
 
 // TotalIPC sums per-application IPC (raw throughput).
@@ -101,9 +109,30 @@ type Runner struct {
 	// power config; set before Run.
 	PowerCap float64
 
+	// PerturbFn, when non-nil, is invoked on the GPU right after epoch
+	// index PerturbEpoch completes (before that epoch's digest is taken).
+	// It is a test hook: the bisector's acceptance test uses it to inject a
+	// known single-component divergence at a known epoch and prove the
+	// harness finds exactly that epoch and component.
+	PerturbFn    func(*gpu.GPU)
+	PerturbEpoch int
+
 	gov    *power.Governor
 	groups [][]int // concrete channel-group ids per app (disjoint mode)
 	shared bool    // MPS-style: group sets overlap, never reallocated
+
+	// Incremental run state, owned by Step.
+	started   bool
+	res       Result
+	recs      []epochRec
+	digestRec digest.Recorder
+}
+
+// epochRec is one epoch's per-app IPC record, kept for the fault-loss
+// summary.
+type epochRec struct {
+	start, end uint64
+	ipc        []float64
 }
 
 // NewRunner builds the GPU for the mix under the policy's initial partition.
@@ -228,77 +257,108 @@ func (r *Runner) applyTargets(cycle uint64, targets []Target) error {
 	return r.G.ApplyPartition(cycle, parts)
 }
 
-// Run simulates for the configured MaxCycles and returns the result.
-func (r *Runner) Run() (Result, error) {
-	res := Result{
-		Mix:    r.Mix.Name,
-		Policy: r.Pol.Name(),
-		Apps:   make([]AppResult, len(r.Mix.Apps)),
-	}
-	for i, b := range r.Mix.Apps {
-		res.Apps[i].Abbr = b.Abbr
+// Step simulates one epoch: run to the next boundary, profile, take the
+// state digest, let the policy decide and apply a reallocation, and step the
+// DVFS governor. It reports done=true once MaxCycles is reached. Run loops
+// over Step; the differential bisector drives Step directly so it can stop
+// at a chosen epoch boundary and replay the divergent epoch cycle-by-cycle.
+func (r *Runner) Step() (done bool, err error) {
+	if !r.started {
+		r.started = true
+		r.res = Result{
+			Mix:    r.Mix.Name,
+			Policy: r.Pol.Name(),
+			Apps:   make([]AppResult, len(r.Mix.Apps)),
+		}
+		for i, b := range r.Mix.Apps {
+			r.res.Apps[i].Abbr = b.Abbr
+		}
 	}
 	total := uint64(r.Cfg.MaxCycles)
-	epoch := uint64(r.Cfg.EpochCycles)
-	type epochRec struct {
-		start, end uint64
-		ipc        []float64
+	if r.G.Cycle() >= total {
+		return true, nil
 	}
-	var recs []epochRec
-	for r.G.Cycle() < total {
-		step := epoch
-		if left := total - r.G.Cycle(); left < step {
-			step = left
+	step := uint64(r.Cfg.EpochCycles)
+	if left := total - r.G.Cycle(); left < step {
+		step = left
+	}
+	epochStart := r.G.Cycle()
+	if err := r.G.RunChecked(step); err != nil {
+		return true, err
+	}
+	stats := r.G.EndEpoch()
+	r.res.Epochs++
+	rec := epochRec{start: epochStart, end: r.G.Cycle(), ipc: make([]float64, len(stats))}
+	var epochInstr uint64
+	for i, e := range stats {
+		r.res.Apps[i].Instructions += e.Instructions
+		epochInstr += e.Instructions
+		rec.ipc[i] = e.IPC()
+	}
+	r.G.Tracer().Emit(trace.KEpochEnd, r.G.Cycle(), -1, int32(r.res.Epochs-1),
+		int64(r.G.Cycle()-epochStart), int64(epochInstr), 0)
+	r.recs = append(r.recs, rec)
+	if err := r.G.CheckInvariants(); err != nil {
+		return true, err
+	}
+	if r.PerturbFn != nil && r.res.Epochs-1 == r.PerturbEpoch {
+		r.PerturbFn(r.G)
+	}
+	if de := r.Cfg.DigestEvery; de > 0 && (r.res.Epochs-1)%de == 0 {
+		r.G.DigestComponents(&r.digestRec)
+		r.res.Digest = r.res.Digest.Append(r.G.Cycle(), r.digestRec.Fold())
+	}
+	dm, sv := r.G.ReallocationOverhead()
+	r.res.DataMigCycles += dm
+	r.res.SMMigCycles += sv
+	frac := float64(dm+sv) / float64(2*step)
+	if frac > 1 {
+		frac = 1
+	}
+	r.res.MigFracMean += frac
+	if frac > r.res.MigFracWorst {
+		r.res.MigFracWorst = frac
+	}
+	if r.G.Cycle() >= total {
+		return true, nil
+	}
+	if targets, latency, ok := r.Pol.Decide(r.G.Cycle(), stats); ok {
+		if latency > 0 && r.Cfg.AlgorithmALUCycles {
+			r.G.Run(uint64(latency))
 		}
-		epochStart := r.G.Cycle()
-		if err := r.G.RunChecked(step); err != nil {
-			return res, err
+		if err := r.applyTargets(r.G.Cycle(), targets); err != nil {
+			return true, err
 		}
-		stats := r.G.EndEpoch()
-		res.Epochs++
-		rec := epochRec{start: epochStart, end: r.G.Cycle(), ipc: make([]float64, len(stats))}
-		var epochInstr uint64
-		for i, e := range stats {
-			res.Apps[i].Instructions += e.Instructions
-			epochInstr += e.Instructions
-			rec.ipc[i] = e.IPC()
-		}
-		r.G.Tracer().Emit(trace.KEpochEnd, r.G.Cycle(), -1, int32(res.Epochs-1),
-			int64(r.G.Cycle()-epochStart), int64(epochInstr), 0)
-		recs = append(recs, rec)
 		if err := r.G.CheckInvariants(); err != nil {
-			return res, err
+			return true, err
 		}
-		dm, sv := r.G.ReallocationOverhead()
-		res.DataMigCycles += dm
-		res.SMMigCycles += sv
-		frac := float64(dm+sv) / float64(2*step)
-		if frac > 1 {
-			frac = 1
+		r.res.Reallocations++
+	}
+	// The DVFS governor steps after the partition decision so domain
+	// ownership reflects the new allocation.
+	r.stepPower(r.G.Cycle(), stats)
+	return r.G.Cycle() >= total, nil
+}
+
+// Run simulates for the configured MaxCycles and returns the result.
+func (r *Runner) Run() (Result, error) {
+	for {
+		done, err := r.Step()
+		if err != nil {
+			return r.res, err
 		}
-		res.MigFracMean += frac
-		if frac > res.MigFracWorst {
-			res.MigFracWorst = frac
-		}
-		if r.G.Cycle() >= total {
+		if done {
 			break
 		}
-		if targets, latency, ok := r.Pol.Decide(r.G.Cycle(), stats); ok {
-			if latency > 0 && r.Cfg.AlgorithmALUCycles {
-				r.G.Run(uint64(latency))
-			}
-			if err := r.applyTargets(r.G.Cycle(), targets); err != nil {
-				return res, err
-			}
-			if err := r.G.CheckInvariants(); err != nil {
-				return res, err
-			}
-			res.Reallocations++
-		}
-		// The DVFS governor steps after the partition decision so domain
-		// ownership reflects the new allocation.
-		r.stepPower(r.G.Cycle(), stats)
 	}
+	r.finish()
+	return r.res, nil
+}
+
+// finish fills the run summary from the machine's final state.
+func (r *Runner) finish() {
+	res := &r.res
+	recs := r.recs
 	res.Cycles = r.G.Cycle()
 	if res.Epochs > 0 {
 		res.MigFracMean /= float64(res.Epochs)
@@ -356,7 +416,6 @@ func (r *Runner) Run() (Result, error) {
 		}
 		res.Faults.PerAppLoss = loss
 	}
-	return res, nil
 }
 
 // stepPower runs the DVFS governor for one epoch boundary. Closed-world

@@ -1,0 +1,235 @@
+// Package digest computes canonical, allocation-free FNV-1a digests of
+// simulator state (ISSUE 9). Every stateful component — SM warp/TB/scheduler
+// state, the event wheel, DRAM bank/queue/migration state, NoC in-flight
+// packets, VM page tables, TLBs and walkers, serve queues and tenant
+// snapshots, power P-states — folds itself into a Hash; the per-component
+// sums roll into a per-epoch digest chain that is byte-identical across
+// every execution mode (serial vs -parallel, fast-forward on/off, DVFS at
+// nominal, crash/restore vs never-crashed). A divergence anywhere in the
+// machine therefore surfaces as a chain mismatch at the first affected
+// epoch, and the differential bisector (internal/experiments) walks it back
+// to the exact component and cycle.
+//
+// Canonicalization rules:
+//
+//   - Ordered state (slices, ring queues, heap arrays whose layout is itself
+//     deterministic) folds element-by-element into the running Hash.
+//   - Unordered state (Go maps, the event wheel's bucket-vs-overflow
+//     residency, which legitimately differs between fast-forward modes)
+//     folds through an Acc: each element is hashed independently to a full
+//     64-bit FNV value and the values combine by wraparound addition, which
+//     is commutative — the result depends only on the multiset of elements,
+//     never on iteration or residency order.
+//   - Pointers are never hashed by identity. A pointer-valued field digests
+//     as the pointed-to value, or as a presence bit (function pointers).
+//   - Non-semantic state — object pools, freelists, scratch buffers, cached
+//     bounds, watchdog observation state — is excluded entirely.
+//
+// Acc's additive combining is weaker than a cryptographic multiset hash, but
+// the harness is a testing tool for a non-adversarial simulator: each
+// element contributes a full-width FNV-1a hash, so collisions require
+// structured cancellation across 64-bit values, far beyond the reach of the
+// single-bug divergences the harness exists to catch.
+package digest
+
+import "math"
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash is a running FNV-1a 64-bit digest. The zero value is NOT a valid
+// start state; begin with New. Every method returns the updated hash so
+// folds chain without temporaries.
+type Hash uint64
+
+// New returns the FNV-1a offset basis.
+func New() Hash { return fnvOffset }
+
+// U64 folds one uint64. This is a word-granularity FNV-1a variant: one
+// multiply round plus an xor-shift-multiply finisher, so bulk array folds
+// (cache tag arrays, DRAM bank state) cost ~4 ops per word instead of the
+// byte-wise 8 rounds, while every input bit still avalanches across the
+// digest. Strings still fold byte-wise (Str).
+func (h Hash) U64(v uint64) Hash {
+	x := (uint64(h) ^ v) * fnvPrime
+	x ^= x >> 31
+	return Hash(x * fnvPrime)
+}
+
+// I64 folds one int64 (two's-complement bits).
+func (h Hash) I64(v int64) Hash { return h.U64(uint64(v)) }
+
+// Int folds one int.
+func (h Hash) Int(v int) Hash { return h.U64(uint64(int64(v))) }
+
+// U32 folds one uint32.
+func (h Hash) U32(v uint32) Hash { return h.U64(uint64(v)) }
+
+// Bool folds one bool.
+func (h Hash) Bool(v bool) Hash {
+	if v {
+		return h.U64(1)
+	}
+	return h.U64(0)
+}
+
+// F64 folds one float64 by its IEEE-754 bit pattern. The simulator's float
+// state is itself deterministic (index-ordered sums), so bit-exact folding
+// is the right equality.
+func (h Hash) F64(v float64) Hash { return h.U64(math.Float64bits(v)) }
+
+// Str folds a string.
+func (h Hash) Str(s string) Hash {
+	x := uint64(h)
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * fnvPrime
+	}
+	return Hash(x)
+}
+
+// Acc accumulates an unordered multiset of element hashes: Add combines by
+// wraparound addition, so the folded result is invariant to the order
+// elements are visited in. Fold the finished accumulator into a parent Hash
+// with h.Acc(a) — the element count is folded alongside the sum so the empty
+// multiset and {0} stay distinct.
+type Acc struct {
+	n   uint64
+	sum uint64
+}
+
+// Add folds one element hash into the multiset.
+func (a *Acc) Add(h Hash) {
+	a.n++
+	a.sum += uint64(h)
+}
+
+// Len is the number of elements added.
+func (a Acc) Len() uint64 { return a.n }
+
+// Acc folds a finished multiset accumulator into the hash.
+func (h Hash) Acc(a Acc) Hash { return h.U64(a.n).U64(a.sum) }
+
+// Component is one named sub-digest inside a Recorder snapshot.
+type Component struct {
+	Name string
+	Sum  uint64
+}
+
+// Recorder collects named component digests for one observation point. The
+// zero value is ready to use; Reset reuses the backing array so steady-state
+// recording allocates nothing.
+type Recorder struct {
+	comps []Component
+}
+
+// Reset clears the recorder, keeping capacity.
+func (r *Recorder) Reset() { r.comps = r.comps[:0] }
+
+// Add records one component digest.
+func (r *Recorder) Add(name string, h Hash) {
+	r.comps = append(r.comps, Component{Name: name, Sum: uint64(h)})
+}
+
+// Components returns the recorded components in record order. The slice is
+// owned by the recorder and invalidated by Reset.
+func (r *Recorder) Components() []Component { return r.comps }
+
+// Fold combines every recorded component into one Hash (names and sums, in
+// record order — component order is fixed by the digesting code, not by any
+// runtime map).
+func (r *Recorder) Fold() Hash {
+	h := New()
+	for _, c := range r.comps {
+		h = h.Str(c.Name).U64(c.Sum)
+	}
+	return h
+}
+
+// Diff compares two component snapshots and returns the name of the first
+// mismatching component. ok is false when the snapshots are identical.
+// Length mismatches (a component recorded on one side only) report the first
+// extra component's name.
+func Diff(a, b []Component) (name string, ok bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Name != b[i].Name || a[i].Sum != b[i].Sum {
+			return a[i].Name, true
+		}
+	}
+	if len(a) > n {
+		return a[n].Name, true
+	}
+	if len(b) > n {
+		return b[n].Name, true
+	}
+	return "", false
+}
+
+// Entry is one epoch's record in a digest chain.
+type Entry struct {
+	// Cycle is the cycle at which the digest was taken (the epoch boundary).
+	Cycle uint64
+	// Sum is the machine state digest at that cycle, on its own.
+	Sum uint64
+	// Chain folds Sum into the previous entry's Chain, so a divergence at
+	// epoch k makes every entry from k on differ — the monotone property the
+	// bisector's binary search needs.
+	Chain uint64
+}
+
+// Chain is a per-epoch digest chain.
+type Chain []Entry
+
+// Append records one epoch digest, folding it into the running chain.
+func (c Chain) Append(cycle uint64, sum Hash) Chain {
+	prev := uint64(fnvOffset)
+	if len(c) > 0 {
+		prev = c[len(c)-1].Chain
+	}
+	link := Hash(prev).U64(cycle).U64(uint64(sum))
+	return append(c, Entry{Cycle: cycle, Sum: uint64(sum), Chain: uint64(link)})
+}
+
+// Final is the last chain value (the whole run's digest), or the FNV offset
+// basis for an empty chain.
+func (c Chain) Final() uint64 {
+	if len(c) == 0 {
+		return fnvOffset
+	}
+	return c[len(c)-1].Chain
+}
+
+// FirstDivergence binary-searches two chains for the first index at which
+// they differ. Because Chain folds cumulatively, divergence is monotone:
+// entries agree up to some index and differ from there on. Returns the
+// index and true, or 0 and false when the chains agree over their common
+// prefix and are the same length.
+func FirstDivergence(a, b Chain) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	// Invariant: entries before lo agree; entry hi-1 (if lo<hi) may differ.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid].Chain == b[mid].Chain && a[mid].Cycle == b[mid].Cycle {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n {
+		return lo, true
+	}
+	if len(a) != len(b) {
+		return n, true
+	}
+	return 0, false
+}

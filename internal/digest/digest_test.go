@@ -1,0 +1,216 @@
+package digest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHashBasics(t *testing.T) {
+	if New().U64(0) == New().U64(1) {
+		t.Error("U64(0) == U64(1)")
+	}
+	if New().U64(7) != New().U64(7) {
+		t.Error("U64 not deterministic")
+	}
+	// Word folding is positional: swapped operands must not collide.
+	if New().U64(1).U64(2) == New().U64(2).U64(1) {
+		t.Error("U64 fold is order-insensitive")
+	}
+	// Str folds byte-wise and is boundary-oblivious: callers that need
+	// framing (variable-length queues) fold an explicit length alongside.
+	if New().Str("ab").Str("c") != New().Str("abc") {
+		t.Error("Str fold is not concatenation-transparent")
+	}
+	if New().Str("ab") == New().Str("ba") {
+		t.Error("Str fold is order-insensitive")
+	}
+	if New().Bool(true) == New().Bool(false) || New().F64(1.5) == New().F64(-1.5) {
+		t.Error("Bool/F64 folds collide")
+	}
+	if New().Int(-1) != New().I64(-1) {
+		t.Error("Int and I64 disagree on the same value")
+	}
+}
+
+// TestAccPermutationInvariance is the core canonicalization property: an Acc
+// fold depends only on the multiset of element hashes, never on visit order.
+func TestAccPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	elems := make([]Hash, 100)
+	for i := range elems {
+		elems[i] = New().U64(rng.Uint64()).Int(i)
+	}
+	var fwd Acc
+	for _, e := range elems {
+		fwd.Add(e)
+	}
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(elems))
+		var acc Acc
+		for _, i := range perm {
+			acc.Add(elems[i])
+		}
+		if New().Acc(acc) != New().Acc(fwd) {
+			t.Fatalf("trial %d: permuted Acc fold differs", trial)
+		}
+	}
+	if fwd.Len() != 100 {
+		t.Errorf("Len = %d, want 100", fwd.Len())
+	}
+}
+
+// TestAccMapIterationOrder folds the same map repeatedly through an Acc: Go
+// randomizes map iteration order, so a stable result proves the digest is
+// iteration-order invariant (the rule every map-backed component relies on).
+func TestAccMapIterationOrder(t *testing.T) {
+	m := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		m[rng.Uint64()] = rng.Uint64()
+	}
+	fold := func() Hash {
+		var acc Acc
+		for k, v := range m {
+			acc.Add(New().U64(k).U64(v))
+		}
+		return New().Acc(acc)
+	}
+	want := fold()
+	for i := 0; i < 20; i++ {
+		if got := fold(); got != want {
+			t.Fatalf("iteration %d: map fold differs", i)
+		}
+	}
+}
+
+func TestAccEmptyVsZeroElement(t *testing.T) {
+	var empty, zero Acc
+	zero.Add(Hash(0))
+	if New().Acc(empty) == New().Acc(zero) {
+		t.Error("empty multiset digests like {0}")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := []Component{{"sm0", 1}, {"dram", 2}, {"vm", 3}}
+	same := []Component{{"sm0", 1}, {"dram", 2}, {"vm", 3}}
+	if name, bad := Diff(a, same); bad {
+		t.Errorf("identical snapshots diff at %q", name)
+	}
+	b := []Component{{"sm0", 1}, {"dram", 9}, {"vm", 99}}
+	if name, bad := Diff(a, b); !bad || name != "dram" {
+		t.Errorf("Diff = (%q, %v), want (\"dram\", true)", name, bad)
+	}
+	short := a[:2]
+	if name, bad := Diff(a, short); !bad || name != "vm" {
+		t.Errorf("Diff long-vs-short = (%q, %v), want (\"vm\", true)", name, bad)
+	}
+	if name, bad := Diff(short, a); !bad || name != "vm" {
+		t.Errorf("Diff short-vs-long = (%q, %v), want (\"vm\", true)", name, bad)
+	}
+}
+
+func TestRecorderFoldAndReset(t *testing.T) {
+	var r Recorder
+	r.Add("a", New().U64(1))
+	r.Add("b", New().U64(2))
+	f1 := r.Fold()
+	r.Reset()
+	r.Add("a", New().U64(1))
+	r.Add("b", New().U64(2))
+	if r.Fold() != f1 {
+		t.Error("Fold not stable across Reset with identical records")
+	}
+	r.Reset()
+	r.Add("b", New().U64(2))
+	r.Add("a", New().U64(1))
+	if r.Fold() == f1 {
+		t.Error("Fold ignores component order (record order is part of the contract)")
+	}
+}
+
+func TestChainFirstDivergence(t *testing.T) {
+	var a, b Chain
+	for e := 0; e < 10; e++ {
+		sum := New().Int(e)
+		a = a.Append(uint64(e*100), sum)
+		if e >= 6 {
+			sum = New().Int(e).U64(1) // diverge from epoch 6 on
+		}
+		b = b.Append(uint64(e*100), sum)
+	}
+	if idx, bad := FirstDivergence(a, b); !bad || idx != 6 {
+		t.Errorf("FirstDivergence = (%d, %v), want (6, true)", idx, bad)
+	}
+	if idx, bad := FirstDivergence(a, a); bad {
+		t.Errorf("identical chains diverge at %d", idx)
+	}
+	// A pure prefix diverges at the shorter length.
+	if idx, bad := FirstDivergence(a, a[:4]); !bad || idx != 4 {
+		t.Errorf("prefix FirstDivergence = (%d, %v), want (4, true)", idx, bad)
+	}
+	if (Chain)(nil).Final() != a[:0].Final() {
+		t.Error("empty-chain Final not stable")
+	}
+	if a.Final() != a[len(a)-1].Chain {
+		t.Error("Final != last link")
+	}
+}
+
+// TestChainCumulative: once one epoch's sum differs, every later link
+// differs even if later sums re-agree — the monotone property the binary
+// search depends on.
+func TestChainCumulative(t *testing.T) {
+	var a, b Chain
+	for e := 0; e < 8; e++ {
+		sa := New().Int(e)
+		sb := sa
+		if e == 3 {
+			sb = New().Int(e).U64(1)
+		}
+		a = a.Append(uint64(e), sa)
+		b = b.Append(uint64(e), sb)
+	}
+	for e := 3; e < 8; e++ {
+		if a[e].Chain == b[e].Chain {
+			t.Errorf("link %d re-converged after the epoch-3 divergence", e)
+		}
+	}
+	if a[4].Sum != b[4].Sum {
+		t.Error("per-epoch sums should re-agree after the transient")
+	}
+}
+
+// FuzzAccCanonicalization fuzzes the variable-length canonicalization rule:
+// however a byte stream is chunked and however the chunks are ordered, the
+// Acc fold of the chunk hashes is identical.
+func FuzzAccCanonicalization(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1}, uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		n := int(chunk%16) + 1
+		var hashes []Hash
+		for i := 0; i < len(data); i += n {
+			end := i + n
+			if end > len(data) {
+				end = len(data)
+			}
+			hashes = append(hashes, New().Str(string(data[i:end])).Int(end-i))
+		}
+		var fwd, rev Acc
+		for _, h := range hashes {
+			fwd.Add(h)
+		}
+		for i := len(hashes) - 1; i >= 0; i-- {
+			rev.Add(hashes[i])
+		}
+		if New().Acc(fwd) != New().Acc(rev) {
+			t.Fatal("Acc fold depends on insertion order")
+		}
+		// Determinism: refolding the same stream reproduces the digest.
+		if New().Str(string(data)) != New().Str(string(data)) {
+			t.Fatal("Str fold not deterministic")
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// digestNote runs the fault sweep and returns its folded state-digest note.
+func digestNote(t *testing.T, o Options) string {
+	t.Helper()
+	fig, err := o.FaultSweep()
+	if err != nil {
+		t.Fatalf("FaultSweep: %v", err)
+	}
+	for _, n := range fig.Notes {
+		if strings.HasPrefix(n, "state digest") {
+			return n
+		}
+	}
+	t.Fatal("no state-digest note in figure")
+	return ""
+}
+
+// TestSweepDigestModeInvariant: a sweep's folded state digest must be
+// byte-identical across -parallel worker counts and fast-forward modes (the
+// property `make digest-smoke` asserts end-to-end on the full smokes).
+func TestSweepDigestModeInvariant(t *testing.T) {
+	base := tiny()
+	base.Cfg.DigestEvery = 1
+	base.Parallel = 1
+	want := digestNote(t, base)
+
+	modes := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"parallel=4", func(o *Options) { o.Parallel = 4 }},
+		{"ff-off", func(o *Options) { o.NoFastForward = true }},
+		{"parallel=4+ff-off", func(o *Options) {
+			o.Parallel = 4
+			o.NoFastForward = true
+		}},
+	}
+	for _, m := range modes {
+		o := base
+		m.mut(&o)
+		if got := digestNote(t, o); got != want {
+			t.Errorf("%s: digest note diverges:\n got %q\nwant %q", m.name, got, want)
+		}
+	}
+}
+
+// TestSweepDigestOffByDefault: with DigestEvery 0 the sweep emits no digest
+// note (digesting must be zero-cost and invisible when disabled).
+func TestSweepDigestOffByDefault(t *testing.T) {
+	fig, err := tiny().FaultSweep()
+	if err != nil {
+		t.Fatalf("FaultSweep: %v", err)
+	}
+	for _, n := range fig.Notes {
+		if strings.HasPrefix(n, "state digest") {
+			t.Errorf("digest note emitted with digesting disabled: %q", n)
+		}
+	}
+}

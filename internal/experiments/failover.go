@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	clusterserve "ugpu/internal/cluster/serve"
+	"ugpu/internal/digest"
 	"ugpu/internal/fault"
 	"ugpu/internal/metrics"
 	"ugpu/internal/trace"
@@ -199,6 +200,17 @@ func (o Options) FailoverSweep() (Figure, error) {
 	if o.FaultSpec != "" {
 		fig.Notes = append(fig.Notes,
 			fmt.Sprintf("backends also run intra-GPU faults %q (seed %d)", o.FaultSpec, o.FaultSeed))
+	}
+	if cfg.DigestEvery > 0 {
+		sweepDig := digest.New()
+		for _, r := range results {
+			sweepDig = sweepDig.U64(r.rep.SLO.StateDigest)
+			for _, bc := range r.rep.BackendDigests {
+				sweepDig = sweepDig.U64(bc.Final())
+			}
+		}
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("state digest %016x over all arms and backends (chained every %d epochs); must match across serial/parallel and fast-forward on/off", uint64(sweepDig), cfg.DigestEvery))
 	}
 	return fig, nil
 }

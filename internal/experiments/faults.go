@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"ugpu/internal/core"
+	"ugpu/internal/digest"
 	"ugpu/internal/fault"
 	"ugpu/internal/gpu"
 	"ugpu/internal/parallel"
@@ -72,11 +73,13 @@ func (o Options) FaultSweep() (Figure, error) {
 		ipc, loss                  float64
 		smFails, grpFails          int
 		nacks, spills, emergencies uint64
+		dig                        uint64 // final state-digest chain link (0 when digesting is off)
 	}
 	labels := []string{"totalIPC", "meanLoss", "smFail", "grpFail", "migNACK", "spill", "evacPages"}
 	// One sink slot per (arm, mix) cell, arm-major, so the JSONL stream
 	// orders cells exactly as a serial sweep would run them.
 	sink := parallel.NewOrderedSink(len(arms) * len(mixes))
+	sweepDig := digest.New()
 	for armIdx, arm := range arms {
 		spec := arm.spec
 		armBase := armIdx * len(mixes)
@@ -112,6 +115,9 @@ func (o Options) FaultSweep() (Figure, error) {
 			r.nacks = res.Faults.MigNACKs
 			r.spills = res.Faults.SpillRemaps
 			r.emergencies = res.Faults.EmergencyMigrations
+			if o.Cfg.DigestEvery > 0 {
+				r.dig = res.Digest.Final()
+			}
 			return r, nil
 		})
 		if err != nil {
@@ -120,6 +126,7 @@ func (o Options) FaultSweep() (Figure, error) {
 		var agg armResult
 		var lossSum float64
 		for _, r := range out {
+			sweepDig = sweepDig.U64(r.dig)
 			agg.ipc += r.ipc
 			lossSum += r.loss
 			agg.smFails += r.smFails
@@ -150,5 +157,9 @@ func (o Options) FaultSweep() (Figure, error) {
 	fig.Notes = append(fig.Notes,
 		"per-arm means over the mix subset; loss = 1 - postIPC/preIPC across the first fault",
 		fmt.Sprintf("fault seed %d; identical seeds give byte-identical reports at any -parallel", o.FaultSeed))
+	if o.Cfg.DigestEvery > 0 {
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("state digest %016x over all cells (chained every %d epochs); must match across serial/parallel and fast-forward on/off", uint64(sweepDig), o.Cfg.DigestEvery))
+	}
 	return fig, nil
 }

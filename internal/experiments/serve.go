@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 
+	"ugpu/internal/digest"
 	"ugpu/internal/fault"
 	"ugpu/internal/metrics"
 	"ugpu/internal/parallel"
@@ -101,6 +102,7 @@ func (o Options) ServeSweep() (Figure, error) {
 	}
 	type cellResult struct {
 		p99, reject, goodput float64
+		dig                  uint64 // final state-digest chain link (0 when digesting is off)
 		line                 string
 	}
 	sink := parallel.NewOrderedSink(len(cells))
@@ -161,6 +163,7 @@ func (o Options) ServeSweep() (Figure, error) {
 			p99:     rep.SLO.P99,
 			reject:  rep.SLO.RejectRate,
 			goodput: rep.SLO.Goodput,
+			dig:     rep.SLO.StateDigest,
 			line:    line,
 		}, nil
 	})
@@ -208,6 +211,14 @@ func (o Options) ServeSweep() (Figure, error) {
 	if o.FaultSpec != "" {
 		fig.Notes = append(fig.Notes,
 			fmt.Sprintf("served on a degraded machine (faults %q, seed %d); slowdowns remain relative to a healthy alone run", o.FaultSpec, o.FaultSeed))
+	}
+	if o.Cfg.DigestEvery > 0 {
+		sweepDig := digest.New()
+		for _, r := range out {
+			sweepDig = sweepDig.U64(r.dig)
+		}
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("state digest %016x over all cells (chained every %d epochs); must match across serial/parallel and fast-forward on/off", uint64(sweepDig), o.Cfg.DigestEvery))
 	}
 	return fig, nil
 }

@@ -1,0 +1,24 @@
+package fault
+
+// State digests (ISSUE 9). The schedule is a sorted slice consumed front to
+// back, so it folds in place; the probabilistic streams digest by their raw
+// splitmix64 state, which fully determines every future sample.
+
+import "ugpu/internal/digest"
+
+// AppendDigest folds the remaining schedule, stream states, and tallies.
+// Nil-safe: an unarmed simulation digests as a single absence bit.
+func (inj *Injector) AppendDigest(h digest.Hash) digest.Hash {
+	if inj == nil {
+		return h.Bool(false)
+	}
+	h = h.Bool(true).Int(inj.next).Int(len(inj.plan))
+	for _, ev := range inj.plan {
+		h = h.U64(ev.Cycle).Int(int(ev.Kind)).Int(ev.Unit).Int(ev.Aux).U64(ev.Duration)
+	}
+	h = h.F64(inj.dropP).F64(inj.nackP).
+		U64(uint64(inj.dropRng)).U64(uint64(inj.nackRng))
+	c := inj.counts
+	return h.Int(c.SMFails).Int(c.GroupFails).Int(c.BankFaults).
+		U64(c.NoCDrops).U64(c.MigNACKs)
+}

@@ -1,0 +1,140 @@
+package gpu
+
+import (
+	"io"
+	"runtime/pprof"
+	"testing"
+
+	"ugpu/internal/digest"
+	"ugpu/internal/trace"
+)
+
+// digestGPU builds the standard two-tenant split used by the digest tests.
+func digestGPU(t *testing.T, mut func(*Options)) *GPU {
+	t.Helper()
+	opt := testOptions()
+	if mut != nil {
+		mut(&opt)
+	}
+	g, err := New(testConfig(), []AppSpec{
+		{Bench: bench(t, "PVC"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+		{Bench: bench(t, "SRAD"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestStateDigestRepeatable: digesting is a pure observation — calling it
+// twice on the same machine returns the same value and perturbs nothing.
+func TestStateDigestRepeatable(t *testing.T) {
+	g := digestGPU(t, nil)
+	g.Run(25_000)
+	d1 := g.StateDigest()
+	d2 := g.StateDigest()
+	if d1 != d2 {
+		t.Fatalf("StateDigest not repeatable: %#x then %#x", d1, d2)
+	}
+	g.Run(5_000)
+	if d3 := g.StateDigest(); d3 == d1 {
+		t.Fatalf("StateDigest unchanged after 5000 more cycles: %#x", d3)
+	}
+}
+
+// TestStateDigestDeterministicAcrossRuns: two identically configured machines
+// digest identically at the same cycle.
+func TestStateDigestDeterministicAcrossRuns(t *testing.T) {
+	a := digestGPU(t, nil)
+	b := digestGPU(t, nil)
+	a.Run(30_000)
+	b.Run(30_000)
+	if da, db := a.StateDigest(), b.StateDigest(); da != db {
+		t.Fatalf("identical runs digest differently: %#x vs %#x", da, db)
+	}
+}
+
+// TestStateDigestModeInvariant: the digest is canonical across execution
+// modes — fast-forward on/off and trace on/off are pure elisions and must be
+// digest-invariant at every observation point.
+func TestStateDigestModeInvariant(t *testing.T) {
+	modes := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"ff-off", func(o *Options) { o.NoFastForward = true }},
+		{"trace-on", func(o *Options) { o.Trace = trace.New(1 << 14) }},
+		{"ff-off+trace-on", func(o *Options) {
+			o.NoFastForward = true
+			o.Trace = trace.New(1 << 14)
+		}},
+	}
+	base := digestGPU(t, nil)
+	var baseRec digest.Recorder
+	base.Run(30_000)
+	base.DigestComponents(&baseRec)
+	want := append([]digest.Component(nil), baseRec.Components()...)
+	for _, m := range modes {
+		g := digestGPU(t, m.mut)
+		g.Run(30_000)
+		var rec digest.Recorder
+		g.DigestComponents(&rec)
+		if name, diff := digest.Diff(want, rec.Components()); diff {
+			t.Errorf("%s: digest diverges from baseline at component %q", m.name, name)
+		}
+	}
+}
+
+// TestStateDigestPprofInvariant: -pprof attaches the Go runtime's sampling
+// profiler, which must be invisible to simulation state — a run under active
+// CPU profiling digests identically to an unprofiled one.
+func TestStateDigestPprofInvariant(t *testing.T) {
+	base := digestGPU(t, nil)
+	base.Run(30_000)
+	want := base.StateDigest()
+
+	if err := pprof.StartCPUProfile(io.Discard); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	g := digestGPU(t, nil)
+	g.Run(30_000)
+	got := g.StateDigest()
+	pprof.StopCPUProfile()
+	if got != want {
+		t.Fatalf("digest under -pprof diverges: %#x vs %#x", got, want)
+	}
+}
+
+// TestPerturbConfinedToComponent: the injected test divergence must surface
+// in exactly one component ("l2tlb") and leave every other component — and
+// future behaviour — untouched. This is the property the bisector's
+// component-naming step relies on.
+func TestPerturbConfinedToComponent(t *testing.T) {
+	a := digestGPU(t, nil)
+	b := digestGPU(t, nil)
+	a.Run(20_000)
+	b.Run(20_000)
+	b.PerturbStateForTest()
+	a.Run(10_000)
+	b.Run(10_000)
+
+	var ra, rb digest.Recorder
+	a.DigestComponents(&ra)
+	b.DigestComponents(&rb)
+	ca, cb := ra.Components(), rb.Components()
+	if len(ca) != len(cb) {
+		t.Fatalf("component count mismatch: %d vs %d", len(ca), len(cb))
+	}
+	var diffs []string
+	for i := range ca {
+		if ca[i].Sum != cb[i].Sum {
+			diffs = append(diffs, ca[i].Name)
+		}
+	}
+	if len(diffs) != 1 || diffs[0] != "l2tlb" {
+		t.Fatalf("perturbation not confined to l2tlb: diverging components %v", diffs)
+	}
+	if name, diff := digest.Diff(ca, cb); !diff || name != "l2tlb" {
+		t.Fatalf("Diff = (%q, %v), want (l2tlb, true)", name, diff)
+	}
+}

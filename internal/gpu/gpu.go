@@ -18,6 +18,7 @@ import (
 	"ugpu/internal/addr"
 	"ugpu/internal/cache"
 	"ugpu/internal/config"
+	"ugpu/internal/digest"
 	"ugpu/internal/dram"
 	"ugpu/internal/fault"
 	"ugpu/internal/noc"
@@ -299,6 +300,14 @@ type GPU struct {
 
 	// Power management (ISSUE 8): nil when Options.Power is unset.
 	pm *power.Manager
+
+	// State-digest support (digest.go): component labels and waiter-hash
+	// callbacks are cached here so per-epoch digesting allocates nothing
+	// after the first call.
+	digestSMNames    []string
+	digestSliceNames []string
+	hashWarpFn       func(any) digest.Hash
+	hashMemReqFn     func(any) digest.Hash
 
 	// transVersion invalidates per-warp translation filters on any page
 	// migration or channel reallocation.

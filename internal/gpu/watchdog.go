@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ugpu/internal/sm"
 	"ugpu/internal/tlb"
 	"ugpu/internal/trace"
 )
@@ -136,6 +137,44 @@ func (g *GPU) outstandingWork() bool {
 	return false
 }
 
+// scheduledWakeup reports whether any component holds a concrete completion
+// deadline: a pending timer-wheel event, an in-flight NoC message, a queued
+// DRAM command, a page-table walk, a switching SM, or an armed fault plan.
+// Every one of these fires at its deadline and moves a fingerprint counter
+// (or drains from this set), so a frozen fingerprint with a scheduled wakeup
+// is a legitimate long wait — a spill-remap's page-fault-scale driver delay
+// or a migration NACK backoff can exceed the watchdog window — not a stall.
+// A real lost-wakeup hang (a blocked warp whose completion was dropped)
+// schedules nothing, so it still trips. The sources mirror nextActivity
+// (fastforward.go) but scan all SMs, not the fast-forward active set, so the
+// answer is identical in every execution mode.
+func (g *GPU) scheduledWakeup() bool {
+	for _, s := range g.sms {
+		if s.State() == sm.Switching {
+			return true
+		}
+	}
+	if _, ok := g.wheel.next(g.cycle); ok {
+		return true
+	}
+	if _, ok := g.reqNet.NextArrival(); ok {
+		return true
+	}
+	if _, ok := g.rspNet.NextArrival(); ok {
+		return true
+	}
+	if _, ok := g.walker.NextDone(); ok {
+		return true
+	}
+	if _, ok := g.hbm.NextActivity(g.cycle); ok {
+		return true
+	}
+	if _, ok := g.inj.NextCycle(); ok {
+		return true
+	}
+	return false
+}
+
 // RunChecked advances the simulation n cycles under watchdog supervision:
 // every cfg.WatchdogCycles cycles the progress fingerprint is compared with
 // the previous window's; if it did not change while work is outstanding, a
@@ -168,8 +207,13 @@ func (g *GPU) RunChecked(n uint64) error {
 				progressed, int64(snap.ResidentWarps), int64(snap.OutstandingLoads))
 		}
 		// Only a full window with a frozen fingerprint and outstanding work
-		// is a stall; partial windows at the end of a slice are skipped.
-		if step == hb && cur == g.lastFingerprint && g.lastProgressAt > 0 && g.outstandingWork() {
+		// is a stall; partial windows at the end of a slice are skipped. A
+		// scheduled wakeup (a completion deadline still in the future) is
+		// exempted: fast-forward elides such spans in one jump, and the
+		// plain loop ticks through them — either way the machine is
+		// legitimately waiting, not hung.
+		if step == hb && cur == g.lastFingerprint && g.lastProgressAt > 0 &&
+			g.outstandingWork() && !g.scheduledWakeup() {
 			snap := g.TakeSnapshot()
 			g.tr.Emit(trace.KWatchdogStall, g.cycle, -1, 0,
 				int64(snap.OutstandingLoads), int64(snap.MigActive+snap.MigQueued), int64(snap.TransPending))

@@ -1,0 +1,83 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWatchdogAllowsScheduledLongWait (ISSUE 9 regression): a machine whose
+// only activity is a timer-wheel event beyond the watchdog window — the
+// shape of a spill-remap's page-fault-scale driver wait (PageFaultDelay
+// 28000 > common window settings) or a deep migration NACK backoff — is
+// waiting, not hung. Before the scheduledWakeup exemption the frozen
+// fingerprint plus wheel.Pending() > 0 made RunChecked falsely return a
+// StallError after one full window. The wait must be exempt in both
+// execution modes: fast-forward elides the dead span in one jump, the plain
+// loop ticks through it, and the watchdog's verdict has to be identical
+// either way. Once the deadline fires, progress resumes and the run must
+// finish quietly.
+func TestWatchdogAllowsScheduledLongWait(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"fast-forward", false}, {"per-cycle", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.WatchdogCycles = 5_000
+			opt := testOptions()
+			opt.NoFastForward = mode.noFF
+			g, err := New(cfg, nil, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired := false
+			// Deadline six windows out: several full windows will elapse
+			// with a frozen fingerprint before it fires.
+			g.wheel.schedule(g.Cycle(), g.Cycle()+30_000, func(uint64) {
+				fired = true
+			})
+			if err := g.RunChecked(40_000); err != nil {
+				t.Fatalf("scheduled long wait tripped the watchdog: %v", err)
+			}
+			if !fired {
+				t.Fatal("scheduled event never fired")
+			}
+		})
+	}
+}
+
+// TestWatchdogStillTripsWithoutScheduledWakeup: the scheduledWakeup
+// exemption must not mask a real lost-wakeup hang. The blackhole drops load
+// completions without scheduling anything, so once in-flight traffic drains
+// there is no deadline left and the watchdog must still trip — in both
+// execution modes (the fast-forward engine must not skip past a genuine
+// stall without the watchdog seeing it).
+func TestWatchdogStillTripsWithoutScheduledWakeup(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"fast-forward", false}, {"per-cycle", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.WatchdogCycles = 5_000
+			opt := testOptions()
+			opt.NoFastForward = mode.noFF
+			g, err := New(cfg, []AppSpec{
+				{Bench: bench(t, "PVC"), SMs: 40, Groups: []int{0, 1, 2, 3}},
+				{Bench: bench(t, "LBM"), SMs: 40, Groups: []int{4, 5, 6, 7}},
+			}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.RunChecked(2_000); err != nil {
+				t.Fatalf("warm-up: %v", err)
+			}
+			g.testBlackhole = true
+			err = g.RunChecked(uint64(cfg.WatchdogCycles) * 10)
+			var stall *StallError
+			if !errors.As(err, &stall) {
+				t.Fatalf("RunChecked = %v, want *StallError", err)
+			}
+		})
+	}
+}

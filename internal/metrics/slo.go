@@ -190,6 +190,12 @@ type SLOReport struct {
 	// LostWork is the alone-cycles of tenant progress rolled back to
 	// checkpoints by crashes.
 	LostWork float64
+
+	// StateDigest is the final link of the run's state digest chain
+	// (ISSUE 9), 0 when digesting was disabled. Two runs of the same
+	// workload in different execution modes must report the same value;
+	// a mismatch means the modes diverged and the chain localizes where.
+	StateDigest uint64
 }
 
 // CrashOutcome is one whole-GPU loss as the cluster frontend observed it.

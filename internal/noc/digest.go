@@ -1,0 +1,32 @@
+package noc
+
+// State digests (ISSUE 9). Port free times digest in index order; in-flight
+// deliveries fold as an unordered multiset over (arrival, seq, callback
+// presence, argument content) — heap layout is an implementation detail.
+// Message arguments are opaque `any` values, so the caller supplies the
+// argument hasher (nil hashes only presence).
+
+import "ugpu/internal/digest"
+
+// AppendDigest folds the crossbar's port, in-flight, and counter state.
+func (x *Crossbar) AppendDigest(h digest.Hash, hashArg func(any) digest.Hash) digest.Hash {
+	h = h.U64(x.latency).Int(x.linkBytes).U64(x.seq)
+	for _, at := range x.srcFree {
+		h = h.U64(at)
+	}
+	for _, at := range x.dstFree {
+		h = h.U64(at)
+	}
+	var acc digest.Acc
+	for _, d := range x.pending {
+		dh := digest.New().U64(d.at).U64(d.seq).Bool(d.fn != nil).Bool(d.tfn != nil)
+		if d.arg != nil && hashArg != nil {
+			dh = dh.Bool(true).U64(uint64(hashArg(d.arg)))
+		} else {
+			dh = dh.Bool(d.arg != nil)
+		}
+		acc.Add(dh)
+	}
+	st := x.stats
+	return h.Acc(acc).U64(st.Messages).U64(st.Bytes).U64(st.Drops)
+}

@@ -61,11 +61,13 @@ type TenantSnapshot struct {
 // empty job schedule; arrivals come only through Offer).
 func (s *Server) Backend() bool { return s.cfg.Jobs != nil && len(s.cfg.Jobs) == 0 }
 
-// Offer hands a job (fresh or resumed) to this backend. front inserts at
-// the head of the class queue — the class-appropriate position for
-// crash-recovered work, which must not queue behind arrivals it already
-// beat once. It reports false, leaving the backend untouched, when the
-// class queue is full.
+// Offer hands a job (fresh or resumed) to this backend. front inserts ahead
+// of ordinary arrivals — the class-appropriate position for crash-recovered
+// work, which must not queue behind arrivals it already beat once — but
+// behind any recovered job already at the head: the frontend re-dispatches a
+// crash's victims in arrival order, and naive head insertion would reverse
+// them whenever several land on the same backend in one pass. It reports
+// false, leaving the backend untouched, when the class queue is full.
 func (s *Server) Offer(cycle int, r Resume, front bool) bool {
 	q := &s.lcQ
 	if r.Job.Class == workload.BestEffort {
@@ -75,13 +77,14 @@ func (s *Server) Offer(cycle int, r Resume, front bool) bool {
 		return false
 	}
 	js := &jobState{
-		job:      r.Job,
-		work:     r.Work,
-		served:   r.Served,
-		slot:     -1,
-		start:    r.Start,
-		finish:   -1,
-		preempts: r.Preempts,
+		job:       r.Job,
+		work:      r.Work,
+		served:    r.Served,
+		slot:      -1,
+		start:     r.Start,
+		finish:    -1,
+		preempts:  r.Preempts,
+		recovered: front,
 	}
 	// A resume captured at the completion boundary (served >= work) needs no
 	// further service; complete it immediately rather than burning an attach.
@@ -95,7 +98,15 @@ func (s *Server) Offer(cycle int, r Resume, front bool) bool {
 	s.jobs = append(s.jobs, js)
 	s.nextArr = len(s.jobs) // never let boundary's arrival scan touch these
 	if front {
-		*q = append([]*jobState{js}, *q...)
+		// Insert after the leading run of recovered jobs so multiple
+		// front offers keep their relative (arrival) order.
+		i := 0
+		for i < len(*q) && (*q)[i].recovered {
+			i++
+		}
+		*q = append(*q, nil)
+		copy((*q)[i+1:], (*q)[i:])
+		(*q)[i] = js
 	} else {
 		*q = append(*q, js)
 	}
@@ -113,6 +124,7 @@ func (s *Server) StepEpoch(step uint64) error {
 		return err
 	}
 	s.epochs++
+	s.maybeDigest()
 	return nil
 }
 

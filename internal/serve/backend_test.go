@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"slices"
 	"testing"
 
 	"ugpu/internal/config"
@@ -235,5 +236,131 @@ func TestBackendOfferFullQueueRefuses(t *testing.T) {
 	}
 	if s.lcQ[0].job.ID != 11 {
 		t.Fatalf("front offer landed at position != 0: head is %d", s.lcQ[0].job.ID)
+	}
+}
+
+func queueIDs(q []*jobState) []int {
+	ids := make([]int, len(q))
+	for i, js := range q {
+		ids[i] = js.job.ID
+	}
+	return ids
+}
+
+// TestBackendFrontOfferPreservesArrivalOrder (ISSUE 9 regression): the
+// cluster frontend re-dispatches a crash's victims in ascending arrival
+// order, each with front=true. Head insertion reversed them whenever several
+// landed on the same backend in one pass — the job that arrived last ran
+// first. Front offers must land ahead of ordinary arrivals but behind the
+// recovered jobs already offered before them.
+func TestBackendFrontOfferPreservesArrivalOrder(t *testing.T) {
+	s, err := New(backendConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvc := mustBench(t, "PVC")
+	offer := func(id int, front bool) {
+		t.Helper()
+		job := workload.Job{ID: id, Bench: pvc, Class: workload.LatencyCritical, Arrival: 0, AloneCycles: 10_000}
+		if !s.Offer(0, Resume{Job: job, Start: -1}, front) {
+			t.Fatalf("offer %d refused", id)
+		}
+	}
+	// Two ordinary arrivals already waiting, then a crash re-offers three
+	// recovered jobs in arrival order.
+	offer(10, false)
+	offer(11, false)
+	for id := 0; id < 3; id++ {
+		offer(id, true)
+	}
+	want := []int{0, 1, 2, 10, 11}
+	if got := queueIDs(s.lcQ); !slices.Equal(got, want) {
+		t.Fatalf("queue after recovery offers = %v, want %v", got, want)
+	}
+	// A later crash's victim queues behind the earlier recovered run but
+	// still ahead of ordinary arrivals.
+	offer(5, true)
+	want = []int{0, 1, 2, 5, 10, 11}
+	if got := queueIDs(s.lcQ); !slices.Equal(got, want) {
+		t.Fatalf("queue after second recovery = %v, want %v", got, want)
+	}
+	// The durable snapshot reflects the same order.
+	var snapIDs []int
+	for _, ts := range s.Snapshot() {
+		snapIDs = append(snapIDs, ts.JobID)
+	}
+	if !slices.Equal(snapIDs, want) {
+		t.Fatalf("snapshot order = %v, want %v", snapIDs, want)
+	}
+}
+
+// TestBackendSnapshotRestoreRoundTrip (ISSUE 9): restoring a backend's
+// snapshot onto a fresh backend must preserve every durable field of every
+// unfinished tenant — nothing dropped, nothing reordered, no progress
+// invented. The restored snapshot differs only in the Resident flag (all
+// restored jobs are queued until the next boundary admits them).
+func TestBackendSnapshotRestoreRoundTrip(t *testing.T) {
+	a, err := New(backendConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxtc := mustBench(t, "DXTC")
+	// Enough long LC jobs that some are resident and some still queued when
+	// the snapshot is taken, and none finish within the warm-up.
+	for id := 0; id < 4; id++ {
+		job := workload.Job{ID: id, Bench: dxtc, Class: workload.LatencyCritical, Arrival: 0, AloneCycles: 400_000}
+		if !a.Offer(0, Resume{Job: job, Start: -1}, false) {
+			t.Fatalf("offer %d refused", id)
+		}
+	}
+	epoch := uint64(a.cfg.Sim.EpochCycles)
+	for i := 0; i < 3; i++ {
+		if err := a.StepEpoch(epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if done := a.TakeCompleted(); len(done) != 0 {
+		t.Fatalf("%d jobs finished during warm-up; lengthen AloneCycles", len(done))
+	}
+	snap := a.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d tenants, want 4", len(snap))
+	}
+	var served uint64
+	for _, ts := range snap {
+		served += ts.Served
+	}
+	if served == 0 {
+		t.Fatal("no tenant made progress before the snapshot")
+	}
+
+	b, err := New(backendConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := int(a.Cycle())
+	for _, ts := range snap {
+		r := Resume{
+			Job:      workload.Job{ID: ts.JobID, Bench: dxtc, Class: ts.Class, Arrival: 0, AloneCycles: 400_000},
+			Served:   ts.Served,
+			Work:     ts.Work,
+			Preempts: ts.Preempts,
+			Start:    ts.Start,
+		}
+		if !b.Offer(at, r, true) {
+			t.Fatalf("restore offer %d refused", ts.JobID)
+		}
+	}
+	restored := b.Snapshot()
+	if len(restored) != len(snap) {
+		t.Fatalf("restored snapshot has %d tenants, want %d", len(restored), len(snap))
+	}
+	for i := range snap {
+		want, got := snap[i], restored[i]
+		want.Resident = false // restored jobs queue until the next boundary
+		got.Resident = false
+		if want != got {
+			t.Errorf("tenant %d round-trip mismatch:\n  before: %+v\n  after:  %+v", i, snap[i], restored[i])
+		}
 	}
 }

@@ -1,0 +1,63 @@
+package serve
+
+// Serve-layer state digests (ISSUE 9). The server folds its own scheduler
+// state — class queues in order, residents in slot order, the arrival
+// cursor, and every lifecycle counter — on top of the GPU's whole-machine
+// component digest, and records the roll-up into a per-epoch chain
+// (Config.Sim.DigestEvery). The chain is byte-identical across execution
+// modes, so serving-layer divergences (a reordered queue, a dropped resume
+// field) surface exactly like machine-state divergences.
+
+import "ugpu/internal/digest"
+
+func jobDigest(js *jobState) digest.Hash {
+	return digest.New().Int(js.job.ID).Int(int(js.job.Class)).
+		Int(js.job.Arrival).Int(js.job.AloneCycles).
+		U64(js.work).U64(js.served).Int(js.slot).Int(js.admitSeq).
+		Int(js.admitAt).Int(js.start).Int(js.finish).
+		Bool(js.rejected).Int(js.preempts).Bool(js.recovered)
+}
+
+// appendStateDigest folds the scheduler's full state.
+func (s *Server) appendStateDigest(h digest.Hash) digest.Hash {
+	h = h.Int(s.nextArr).Int(s.admitSeq).U64(s.served).Int(s.epochs).
+		Int(s.attaches).Int(s.detaches).Int(s.preemptions).Int(s.rejections)
+	h = h.Int(len(s.lcQ))
+	for _, js := range s.lcQ {
+		h = h.U64(uint64(jobDigest(js)))
+	}
+	h = h.Int(len(s.beQ))
+	for _, js := range s.beQ {
+		h = h.U64(uint64(jobDigest(js)))
+	}
+	for _, js := range s.resident {
+		if js == nil {
+			h = h.Bool(false)
+			continue
+		}
+		h = h.Bool(true).U64(uint64(jobDigest(js)))
+	}
+	h = h.Int(len(s.doneQ))
+	for _, c := range s.doneQ {
+		h = h.Int(c.JobID).Int(c.Start).Int(c.Finish).U64(c.Served).Int(c.Preempts)
+	}
+	return h
+}
+
+// maybeDigest records one chain entry when the epoch cadence matches; called
+// right after s.epochs is incremented (both the single-GPU Run loop and the
+// cluster backend's StepEpoch pass through it).
+func (s *Server) maybeDigest() {
+	de := s.cfg.Sim.DigestEvery
+	if de <= 0 || (s.epochs-1)%de != 0 {
+		return
+	}
+	s.g.DigestComponents(&s.digestRec)
+	s.digestRec.Add("serve", s.appendStateDigest(digest.New()))
+	s.digestChain = s.digestChain.Append(s.g.Cycle(), s.digestRec.Fold())
+}
+
+// DigestChain is the per-epoch state digest chain recorded so far (empty
+// when DigestEvery is 0). The cluster frontend folds each backend's chain
+// into the cluster report.
+func (s *Server) DigestChain() digest.Chain { return s.digestChain }

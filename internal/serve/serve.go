@@ -21,6 +21,7 @@ import (
 
 	"ugpu/internal/config"
 	"ugpu/internal/core"
+	"ugpu/internal/digest"
 	"ugpu/internal/gpu"
 	"ugpu/internal/metrics"
 	"ugpu/internal/power"
@@ -193,6 +194,11 @@ type Report struct {
 	Energy power.Breakdown
 	// MeanPower is the run-average power in watts (0 without a power config).
 	MeanPower float64
+
+	// Digest is the per-epoch state digest chain (empty when
+	// Config.Sim.DigestEvery is 0); its final link also lands in
+	// SLO.StateDigest so sweep tables can print one comparable value.
+	Digest digest.Chain
 }
 
 // jobState tracks one arrival through the system.
@@ -207,6 +213,10 @@ type jobState struct {
 	finish   int    // completion cycle, -1
 	rejected bool
 	preempts int
+	// recovered marks a crash-recovered job front-offered by the cluster
+	// frontend: it holds queue priority over ordinary arrivals, and later
+	// front offers must slot in behind it, not in front of it (Offer).
+	recovered bool
 }
 
 // Server drives one GPU through an arrival schedule. Build with New, run
@@ -234,6 +244,10 @@ type Server struct {
 	// doneQ is the drain queue of finished jobs for backend mode
 	// (TakeCompleted); unread in single-GPU serving.
 	doneQ []Completion
+
+	// State digest chain (digest.go), recorded every Sim.DigestEvery epochs.
+	digestRec   digest.Recorder
+	digestChain digest.Chain
 }
 
 // New validates the configuration, generates the arrival schedule, and
@@ -285,6 +299,7 @@ func (s *Server) Run() (*Report, error) {
 			return nil, err
 		}
 		s.epochs++
+		s.maybeDigest()
 	}
 	return s.report(), nil
 }
@@ -840,6 +855,10 @@ func (s *Server) report() *Report {
 	}
 	r.SLO = metrics.BuildSLOReport(r.Outcomes, s.cfg.SLO, s.cfg.Sim.MaxCycles)
 	r.Served = s.served
+	if len(s.digestChain) > 0 {
+		r.Digest = s.digestChain
+		r.SLO.StateDigest = s.digestChain.Final()
+	}
 	if pm := s.g.PowerManager(); pm != nil {
 		r.Energy = s.g.PowerReport()
 		if c := s.g.Cycle(); c > 0 {

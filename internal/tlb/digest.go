@@ -1,0 +1,50 @@
+package tlb
+
+// State digests (ISSUE 9). TLB arrays digest in index order. The walker's
+// heap layout is deterministic — pushes and pops happen at exact cycle
+// deadlines in every execution mode — but only the heap's multiset of walks
+// is semantic, so active walks fold through an Acc anyway (belt and braces
+// against any future heap-internal reordering). Callbacks digest as
+// presence bits plus the per-walk argument.
+
+import "ugpu/internal/digest"
+
+// AppendDigest folds the translation array and counters.
+func (t *TLB) AppendDigest(h digest.Hash) digest.Hash {
+	h = h.Int(t.sets).Int(t.ways).U64(t.clock)
+	for i := range t.keys {
+		if t.valid[i] {
+			h = h.Bool(true).U64(t.keys[i]).U64(t.vals[i]).U64(t.stamp[i])
+		} else {
+			h = h.Bool(false)
+		}
+	}
+	st := t.stats
+	return h.U64(st.Accesses).U64(st.Hits).U64(st.Misses)
+}
+
+// PerturbStatsForTest bumps the access counter by a value unreachable by any
+// real run, making this TLB's digest diverge without touching behaviour —
+// the injected single-component fault the bisector acceptance test hunts.
+func (t *TLB) PerturbStatsForTest() {
+	t.stats.Accesses += 1 << 40
+}
+
+func walkHash(wk walk) digest.Hash {
+	return digest.New().U64(wk.doneAt).U64(wk.seq).U64(wk.arg).
+		Bool(wk.fn != nil).Bool(wk.tfn != nil)
+}
+
+// AppendDigest folds in-flight and queued walks plus the walker's counters.
+func (w *Walker) AppendDigest(h digest.Hash) digest.Hash {
+	var acc digest.Acc
+	for _, wk := range w.active {
+		acc.Add(walkHash(wk))
+	}
+	h = h.Int(w.threads).U64(w.latency).U64(w.seq).U64(w.Walks).Acc(acc)
+	h = h.Int(len(w.waiting))
+	for _, wk := range w.waiting {
+		h = h.U64(uint64(walkHash(wk)))
+	}
+	return h
+}

@@ -1,0 +1,69 @@
+package vm
+
+// State digests (ISSUE 9). Page tables and ownership records are Go maps, so
+// they fold as unordered multisets (Acc); recycle stacks are LIFO — their
+// order decides future allocations — so they fold in place. Per-group page
+// sets digest only by size: the set contents are already covered by the
+// page-table multiset (VPN -> PA determines the group), so re-hashing the
+// membership would double the snapshot's page-table cost for no coverage.
+
+import "ugpu/internal/digest"
+
+func (s *Space) appendDigest(h digest.Hash) digest.Hash {
+	h = h.Int(s.id).Bool(s.rebalancing)
+	var pt digest.Acc
+	for vpn, pa := range s.pageTable {
+		pt.Add(digest.New().U64(vpn).U64(pa))
+	}
+	h = h.Acc(pt)
+	for g := range s.byGroup {
+		h = h.Int(len(s.byGroup[g]))
+	}
+	h = h.Int(len(s.groups))
+	for _, g := range s.groups {
+		h = h.Int(g)
+	}
+	for _, a := range s.allowed {
+		h = h.Bool(a)
+	}
+	var mig, pend digest.Acc
+	for vpn, v := range s.migrating {
+		mig.Add(digest.New().U64(vpn).Bool(v))
+	}
+	for vpn := range s.pendingAll {
+		pend.Add(digest.New().U64(vpn))
+	}
+	return h.Acc(mig).Acc(pend)
+}
+
+// AppendDigest folds every address space, the frame allocator, the content
+// tags, and the counters.
+func (m *Manager) AppendDigest(h digest.Hash) digest.Hash {
+	h = h.Int(len(m.spaces))
+	for _, sp := range m.spaces {
+		h = sp.appendDigest(h)
+	}
+	for _, f := range m.nextFrame {
+		h = h.U64(f)
+	}
+	for g := range m.recycled {
+		h = h.Int(len(m.recycled[g]))
+		for _, f := range m.recycled[g] {
+			h = h.U64(f)
+		}
+	}
+	var tags, owners digest.Acc
+	for pa, tag := range m.frameTag {
+		tags.Add(digest.New().U64(pa).U64(tag))
+	}
+	for pa, own := range m.frameOwner {
+		owners.Add(digest.New().U64(pa).U64(own[0]).U64(own[1]))
+	}
+	h = h.Acc(tags).Acc(owners)
+	for _, d := range m.deadGroup {
+		h = h.Bool(d)
+	}
+	st := m.stats
+	return h.U64(st.Faults).U64(st.Migrations).U64(st.Allocated).
+		U64(st.Freed).U64(st.Remaps)
+}

@@ -118,6 +118,12 @@ type WarpStream struct {
 	quota  int
 
 	rng uint64
+
+	// immHash is the digest of every field above that never changes after
+	// InitWarpStream (kernel parameters, thresholds, geometry). Caching it
+	// keeps the per-epoch state digest to a handful of folds per stream; see
+	// AppendDigest in digest.go.
+	immHash uint64
 }
 
 // NewWarpStream builds the stream for warp warpIdx of the given TB.
@@ -173,6 +179,7 @@ func (d *Dispatcher) InitWarpStream(ws *WarpStream, tb TBSpec, warpIdx int, page
 	if ws.diverge < 1 {
 		ws.diverge = 1
 	}
+	ws.immHash = ws.immutableHash()
 }
 
 func (ws *WarpStream) next() uint64 {
