@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke failover-smoke power-smoke trace-smoke ff-smoke digest-smoke experiments bench-json clean
+.PHONY: all build test short race bench vet check cover fault-smoke serve-smoke failover-smoke gray-smoke power-smoke trace-smoke ff-smoke digest-smoke experiments bench-json clean
 
 all: check
 
@@ -19,9 +19,11 @@ test:
 short:
 	$(GO) test -short ./...
 
-## race: race-detector pass (short mode keeps the heavy sweeps out)
+## race: race-detector pass (short mode keeps the heavy sweeps out; the
+## cluster suites still run long under the detector with packages racing
+## for cores, so give them headroom past the 10m default)
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 20m ./...
 
 ## bench: hot-path allocation benchmarks (ReportAllocs)
 bench:
@@ -73,6 +75,29 @@ failover-smoke:
 	grep -q '"kind":"gpu-crash"' failover-serial.jsonl
 	cat failover-serial.txt
 	rm -f failover-serial.txt failover-parallel.txt failover-serial.jsonl failover-parallel.jsonl
+
+## gray-smoke: short gray-failure sweep; one of four GPUs is degraded (not
+## killed) mid-run, the health scorer convicts it against the peer median,
+## and quarantine drains its latency-critical tenants with live progress.
+## The figure, merged trace, and folded state digests must be byte-identical
+## serial vs parallel AND with the fast-forward engine on vs off, and the
+## false-positive row must be all zero (CI smoke job)
+GRAY_SMOKE_FLAGS = -fig gray -cycles 30000 -serve-seed 9 -arrival-rate 25 -trace -digest-every 4
+gray-smoke:
+	$(GO) run ./cmd/experiments $(GRAY_SMOKE_FLAGS) -parallel 1 -trace-out gray-serial.jsonl > gray-serial.txt
+	$(GO) run ./cmd/experiments $(GRAY_SMOKE_FLAGS) -parallel 8 -trace-out gray-parallel.jsonl > gray-parallel.txt
+	cmp gray-serial.txt gray-parallel.txt
+	cmp gray-serial.jsonl gray-parallel.jsonl
+	$(GO) run ./cmd/experiments $(GRAY_SMOKE_FLAGS) -parallel 1 -no-fastforward -trace-out gray-noff.jsonl > gray-noff.txt
+	cmp gray-serial.txt gray-noff.txt
+	cmp gray-serial.jsonl gray-noff.jsonl
+	grep -q '"kind":"gray-fault"' gray-serial.jsonl
+	grep -q '"kind":"health"' gray-serial.jsonl
+	grep -q 'state digest' gray-serial.txt
+	grep 'false positives' gray-serial.txt | grep -vq '[1-9]'
+	cat gray-serial.txt
+	rm -f gray-serial.txt gray-parallel.txt gray-noff.txt \
+		gray-serial.jsonl gray-parallel.jsonl gray-noff.jsonl
 
 ## power-smoke: short DVFS/power-cap sweep; the baseline, governed, and
 ## capped arms share one arrival schedule on a 2-GPU cluster. The figure,

@@ -1,0 +1,115 @@
+// Gray failure: a GPU gets slow without dying. Four backend GPUs serve one
+// seeded arrival stream; mid-run one of them is degraded — forced low
+// P-states and an elevated NoC drop rate — while still answering offers and
+// completing jobs, the failure mode fail-stop failover cannot see. The
+// example replays the *same* stream and the *same* degradation window three
+// ways — no mitigation, conviction treated as a crash, and the full
+// quarantine pipeline (detect by peer-median progress, drain LC with live
+// progress, probe, re-admit) — and prints the resilience accounting:
+// detection latency, false positives, quarantined GPU-cycles, saved work,
+// and what quarantine buys the latency-critical tail.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ugpu"
+)
+
+func main() {
+	cfg := ugpu.DefaultConfig()
+	cfg.MaxCycles = 200_000 // serving horizon
+	cfg.EpochCycles = 5_000 // scheduling quantum; the scorer samples per epoch
+
+	var pool []ugpu.Benchmark
+	for _, abbr := range []string{"DXTC", "HOTSPOT", "PVC", "LBM"} {
+		b, err := ugpu.BenchmarkByName(abbr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, b)
+	}
+
+	// Moderate load: the three survivors must have headroom to absorb the
+	// drained LC work — run the stream much hotter and the drain genuinely
+	// crushes a healthy survivor, whose collapsed progress ratio then reads
+	// as a second gray failure (see the figure comment in
+	// internal/experiments/gray.go).
+	spec := ugpu.ArrivalSpec{
+		Horizon:    160_000,
+		MeanGap:    3_500,
+		LCFraction: 0.5,
+		MinLen:     4_000,
+		MaxLen:     10_000,
+		Benchmarks: pool,
+	}
+	// The degradation needs the DVFS ladder to bite: P-state floors are
+	// applied through the power governor.
+	opt := ugpu.DefaultOptions()
+	opt.Power = &ugpu.PowerConfig{}
+	alone := ugpu.NewAloneIPC(cfg, opt)
+
+	// One seeded degradation window in the middle of the run, shared by
+	// every arm — the figure's severity: SM floor 3 (quarter issue rate),
+	// half-rate HBM bursts, a 1% NoC drop, over 0.35 of the horizon.
+	gspec, err := ugpu.ParseGraySpec("gpus=1,sm=3,hbm=2,noc=0.01,window=0.35")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := ugpu.PlanGrayFaults(42, 4, gspec, uint64(cfg.MaxCycles))
+	fmt.Printf("gray schedule: GPU %d degraded over [%d, %d)\n\n",
+		plan[0].GPU, plan[0].Start, plan[0].End)
+
+	arms := []struct {
+		name    string
+		health  bool
+		asCrash bool
+	}{
+		{"ignore", false, false},
+		{"treat-as-crash", true, true},
+		{"quarantine", true, false},
+	}
+	fmt.Printf("%-15s %8s %6s %4s %4s %8s %7s %6s %8s %9s %7s\n",
+		"arm", "arrived", "done", "det", "fp", "latency", "quar", "saved", "lcAvail", "lcGoodput", "p99")
+	for _, arm := range arms {
+		ccfg := ugpu.ClusterServeConfig{
+			GPUs:     4,
+			Sim:      cfg,
+			Opt:      opt,
+			Arrivals: spec,
+			Seed:     42,
+			// Deep queues: a gray GPU answers offers normally, so dispatch
+			// keeps feeding it and queued LC work rots behind the slow
+			// residents — the hiding behavior the scorer exists to catch.
+			QueueCap: 6,
+			GrayPlan: plan,
+			Alone:    alone,
+		}
+		if arm.health {
+			ccfg.Health = &ugpu.HealthConfig{}
+			ccfg.GrayAsCrash = arm.asCrash
+		}
+		fr, err := ugpu.NewClusterFrontend(ccfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := fr.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %8d %6d %4d %4d %8.1f %7d %6.0f %8.3f %9.3f %7.2f\n",
+			arm.name, rep.Arrived, rep.Completed,
+			rep.SLO.GrayDetected, rep.SLO.GrayFalsePositives, rep.SLO.GrayDetectEpochs,
+			rep.SLO.QuarantinedGPUCycles, rep.SLO.GraySavedWork,
+			rep.SLO.LCAvailability, rep.SLO.LCGoodput, rep.SLO.P99)
+	}
+
+	fmt.Println("\nSame seed, same stream, same sick GPU: only the response differs.")
+	fmt.Println("Ignoring the gray window lets latency-critical jobs crawl on the")
+	fmt.Println("victim; killing it on conviction rolls progress back to checkpoints")
+	fmt.Println("and pays crash retries. Quarantine drains LC with live progress —")
+	fmt.Println("nothing rolls back — keeps best-effort work on the sick device, and")
+	fmt.Println("re-admits it after clean probe epochs. The full comparison is")
+	fmt.Println("`go run ./cmd/experiments -fig gray` (EXPERIMENTS.md).")
+}

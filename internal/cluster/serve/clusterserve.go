@@ -90,6 +90,22 @@ type Config struct {
 	// EpochCycles. Exit is hysteretic at half the tier's entry threshold.
 	BrownoutDelay int
 
+	// Gray is the seeded gray-degradation spec (fault.ParseGraySpec): GPUs
+	// that keep answering but run slow for a bounded window. The zero spec
+	// injects nothing. GraySeed seeds the window planner (0 means Seed);
+	// GrayPlan, when non-nil, replays an explicit schedule instead (tests).
+	Gray     fault.GraySpec
+	GraySeed int64
+	GrayPlan []fault.GrayFault
+	// Health, when non-nil, enables the gray-failure health scorer and
+	// quarantine state machine (health.go). Without it the frontend is
+	// blind to gray degradation — the "do nothing" comparison arm.
+	Health *HealthConfig
+	// GrayAsCrash makes a quarantine conviction kill the GPU like a
+	// fail-stop crash instead of draining it — the "treat as crash"
+	// comparison arm. Requires Health.
+	GrayAsCrash bool
+
 	// PowerCap is the cluster-wide power budget in watts (0 = uncapped),
 	// arbitrated across alive GPUs each boundary: every survivor gets an
 	// equal share, and headroom measured on under-consuming GPUs is
@@ -139,6 +155,22 @@ func (c Config) Validate() error {
 	if c.PowerCap < 0 {
 		return &config.FieldError{Field: "clusterserve.PowerCap", Value: int(c.PowerCap),
 			Reason: "must be >= 0 watts (0 means uncapped)"}
+	}
+	if c.Gray.GPUs < 0 || c.Gray.SMStep < 0 || c.Gray.HBMStep < 0 {
+		return &config.FieldError{Field: "clusterserve.Gray", Value: c.Gray.GPUs,
+			Reason: "victim count and P-state depths must be >= 0"}
+	}
+	if c.Gray.NoCDrop < 0 || c.Gray.NoCDrop >= 1 || c.Gray.NoCDrop != c.Gray.NoCDrop {
+		return &config.FieldError{Field: "clusterserve.Gray.NoCDrop", Value: int(c.Gray.NoCDrop * 1e6),
+			Reason: "must be a probability in [0,1) (value shown in ppm)"}
+	}
+	if c.Gray.Window < 0 || c.Gray.Window > 1 || c.Gray.Window != c.Gray.Window {
+		return &config.FieldError{Field: "clusterserve.Gray.Window", Value: int(c.Gray.Window * 100),
+			Reason: "must be a horizon fraction in (0,1] or 0 for the default (value shown in percent)"}
+	}
+	if c.GrayAsCrash && c.Health == nil {
+		return &config.FieldError{Field: "clusterserve.GrayAsCrash", Value: 1,
+			Reason: "requires Health (the conviction that triggers the crash comes from the scorer)"}
 	}
 	if c.BackendTracers != nil && len(c.BackendTracers) != c.effectiveGPUs() {
 		return &config.FieldError{Field: "clusterserve.BackendTracers", Value: len(c.BackendTracers),
@@ -202,6 +234,9 @@ func (c *Config) withDefaults() {
 	if c.CrashSeed == 0 {
 		c.CrashSeed = c.Seed
 	}
+	if c.GraySeed == 0 {
+		c.GraySeed = c.Seed
+	}
 	if c.SLO == (metrics.SLOSpec{}) {
 		c.SLO = metrics.DefaultSLO()
 	}
@@ -255,6 +290,10 @@ type track struct {
 	notBefore uint64 // backoff: no re-dispatch before this cycle
 	crashOf   int    // crashLog index this job is recovering from, -1
 	enqueued  int    // cycle it last entered a frontend queue
+	// drained marks a job proactively evicted from a quarantined GPU: it
+	// keeps front-of-queue priority on its next dispatch (it already beat
+	// the arrivals behind it) without being charged a crash retry.
+	drained bool
 }
 
 // Frontend routes the arrival stream across the backends. Build with New,
@@ -283,6 +322,17 @@ type Frontend struct {
 	crashLog   []metrics.CrashOutcome
 	recovering []int // per crash: jobs still awaiting re-dispatch
 	lostWork   float64
+
+	// Gray-failure state (health.go): the degradation schedule, the index
+	// of the window currently applied per GPU (-1 none), the scorer state
+	// (nil when Health is nil), the transition log, and the alone-cycles of
+	// live progress quarantine drains preserved.
+	grayPlan  []fault.GrayFault
+	grayCur   []int
+	health    []backendHealth
+	healthCfg HealthConfig
+	healthLog []HealthTransition
+	graySaved float64
 
 	caps []float64 // per-GPU power budget currently assigned (watts)
 
@@ -346,6 +396,22 @@ func New(cfg Config) (*Frontend, error) {
 	if f.crashPlan == nil && cfg.Crashes > 0 {
 		f.crashPlan = fault.PlanGPUCrashes(cfg.CrashSeed, cfg.GPUs, cfg.Crashes,
 			uint64(cfg.Sim.MaxCycles))
+	}
+	f.grayPlan = cfg.GrayPlan
+	if f.grayPlan == nil && !cfg.Gray.Empty() {
+		f.grayPlan = fault.PlanGrayFaults(cfg.GraySeed, cfg.GPUs, cfg.Gray,
+			uint64(cfg.Sim.MaxCycles))
+	}
+	f.grayCur = make([]int, cfg.GPUs)
+	for i := range f.grayCur {
+		f.grayCur[i] = -1
+	}
+	if cfg.Health != nil {
+		f.healthCfg = cfg.Health.withDefaults()
+		f.health = make([]backendHealth, cfg.GPUs)
+		for i := range f.health {
+			f.health[i].quarStart = -1
+		}
 	}
 	return f, nil
 }
@@ -443,15 +509,23 @@ func (f *Frontend) aliveIdx() []int {
 }
 
 // boundary is the frontend's serial per-epoch pass. Order is fixed for
-// determinism: completions, checkpoint, arrivals, brownout, dispatch,
-// power arbitration, invariants.
+// determinism: completions, checkpoint, gray windows, health scoring (which
+// may drain a quarantined GPU into the LC queue, so it precedes dispatch),
+// arrivals, brownout, dispatch, power arbitration, invariants.
 func (f *Frontend) boundary(cycle int) error {
 	f.drainCompletions(cycle)
 	f.maybeCheckpoint(cycle)
+	f.applyGray(cycle)
+	if err := f.updateHealth(cycle); err != nil {
+		return err
+	}
 	f.admitArrivals(cycle)
 	f.updateBrownout(cycle)
 	f.dispatch(cycle)
 	f.arbitratePower(cycle)
+	if err := f.checkHealthInvariants(cycle); err != nil {
+		return err
+	}
 	return f.checkInvariants(cycle)
 }
 
@@ -697,6 +771,11 @@ func (f *Frontend) placeJob(cycle int, tk *track) int {
 		return idx[a] < idx[b]
 	})
 	for _, i := range idx {
+		// Suspect and quarantined GPUs take no new latency-critical work;
+		// best-effort may still land anywhere alive (relaxed expectations).
+		if tk.job.Class == workload.LatencyCritical && !f.lcEligible(i) {
+			continue
+		}
 		r := serve.Resume{
 			Job:      tk.job,
 			Served:   tk.served,
@@ -704,9 +783,10 @@ func (f *Frontend) placeJob(cycle int, tk *track) int {
 			Preempts: tk.preempts,
 			Start:    tk.start,
 		}
-		if !f.backends[i].Offer(cycle, r, tk.retries > 0) {
+		if !f.backends[i].Offer(cycle, r, tk.retries > 0 || tk.drained) {
 			continue
 		}
+		tk.drained = false
 		tk.state = tsDispatched
 		tk.gpu = i
 		if tk.retries > 0 {
@@ -827,13 +907,19 @@ func (f *Frontend) report(cycle uint64) *Report {
 	if pm := f.backends[0].GPU().PowerManager(); pm != nil && cycle > 0 {
 		r.MeanPower = r.Energy.Total / float64(cycle) * pm.WattsPerUnit()
 	}
-	r.SLO = metrics.BuildSLOReport(r.Outcomes, f.cfg.SLO, f.cfg.Sim.MaxCycles,
-		metrics.FailoverStats{
-			GPUs:           f.cfg.GPUs,
-			Crashes:        r.Crashes,
-			AliveGPUCycles: alive,
-			LostWork:       f.lostWork,
-		})
+	fo := metrics.FailoverStats{
+		GPUs:           f.cfg.GPUs,
+		Crashes:        r.Crashes,
+		AliveGPUCycles: alive,
+		LostWork:       f.lostWork,
+	}
+	if f.health != nil || len(f.grayPlan) > 0 {
+		fo.GrayFaults = len(f.grayPlan)
+		fo.GrayDetected, fo.GrayFalsePositives, fo.GrayMissed,
+			fo.GrayDetectEpochs, fo.QuarantinedGPUCycles = f.grayStats(cycle)
+		fo.GraySavedWork = f.graySaved
+	}
+	r.SLO = metrics.BuildSLOReport(r.Outcomes, f.cfg.SLO, f.cfg.Sim.MaxCycles, fo)
 	if len(f.digestChain) > 0 {
 		r.Digest = f.digestChain
 		r.BackendDigests = make([]digest.Chain, len(f.backends))

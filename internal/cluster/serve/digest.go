@@ -16,7 +16,8 @@ func trackHash(tk *track) digest.Hash {
 		Int(int(tk.state)).Int(tk.gpu).
 		U64(tk.served).U64(tk.work).Int(tk.start).Int(tk.preempts).
 		Int(tk.finish).Int(int(tk.shed)).F64(tk.relax).
-		Int(tk.retries).U64(tk.notBefore).Int(tk.crashOf).Int(tk.enqueued)
+		Int(tk.retries).U64(tk.notBefore).Int(tk.crashOf).Int(tk.enqueued).
+		Bool(tk.drained)
 }
 
 // appendStateDigest folds the frontend's scheduler state.
@@ -48,6 +49,23 @@ func (f *Frontend) appendStateDigest(h digest.Hash) digest.Hash {
 	}
 	for _, cap := range f.caps {
 		h = h.F64(cap)
+	}
+	// Gray-failure state: applied windows, scorer state machines, the
+	// transition log, and the drain-preserved work.
+	h = h.F64(f.graySaved)
+	for _, k := range f.grayCur {
+		h = h.Int(k)
+	}
+	h = h.Int(len(f.healthLog))
+	for _, t := range f.healthLog {
+		h = h.Int(t.Cycle).Int(t.GPU).Int(int(t.From)).Int(int(t.To))
+	}
+	for i := range f.health {
+		bh := &f.health[i]
+		h = h.Int(int(bh.state)).Int(bh.badStreak).Int(bh.goodStreak).
+			Int(bh.quarEpochs).Int(bh.quarStart).U64(bh.quarCycles).
+			U64(bh.lastFaults).Int(bh.lastQDepth).Int(bh.growStreak).
+			F64(bh.lastScore)
 	}
 	return h
 }

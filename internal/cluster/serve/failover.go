@@ -38,6 +38,9 @@ func (f *Frontend) crashGPU(cycle uint64, victim int) {
 	}
 	f.alive[victim] = false
 	f.nAlive--
+	// A quarantine interval still open on the victim ends here: the cycles
+	// after the crash are downtime (availability), not quarantine.
+	f.closeQuarantine(cycle, victim)
 
 	// The victim's live state exists only for loss accounting: everything
 	// not in the last checkpoint (or a drained completion) is gone.

@@ -56,6 +56,13 @@ type Options struct {
 	// Brownout enables the failover figure's brownout arm (the tiered
 	// overload controller); cmd/experiments defaults it on.
 	Brownout bool
+	// GrayFaults, when non-empty, replaces the gray figure's default
+	// degradation spec (fault.ParseGraySpec format, e.g.
+	// "gpus=1,sm=3,noc=0.005,window=0.25").
+	GrayFaults string
+	// ProbeEpochs is the consecutive clean probe epochs a quarantined GPU
+	// must score before re-admitting LC work (0 = the health default 4).
+	ProbeEpochs int
 	// ArrivalRate, when > 0, replaces the serve sweep's default rising
 	// rates with a single rate (jobs per 100K cycles).
 	ArrivalRate float64

@@ -1,0 +1,112 @@
+package experiments
+
+// Golden determinism for the gray-failure figure (ISSUE 10): under a seeded
+// mid-run degradation window, the rendered figure, the buffered progress
+// log, and the merged frontend+backend trace must be byte-identical for any
+// -parallel worker count — and identical with fast-forward on or off. The
+// figure also carries the headline robustness claims, so the golden run
+// asserts them: the healthy arm convicts nobody, and the degraded arms all
+// detect the window.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderGray runs the GraySweep at reduced scale with tracing on and
+// returns the formatted figure, the progress log, and the merged trace.
+func renderGray(t *testing.T, workers int, noFF bool) (string, string, string) {
+	t.Helper()
+	o := tiny()
+	o.Cfg.MaxCycles = 30_000 // GraySweep doubles this internally
+	o.Parallel = workers
+	o.ServeSeed = 9
+	o.NoFastForward = noFF
+	var log, tr bytes.Buffer
+	o.Log = &log
+	o.Trace = true
+	o.TraceOut = &tr
+	f, err := o.GraySweep()
+	if err != nil {
+		t.Fatalf("GraySweep(workers=%d, noFF=%v): %v", workers, noFF, err)
+	}
+	var out bytes.Buffer
+	f.Format(&out)
+	return out.String(), log.String(), tr.String()
+}
+
+func TestGoldenGraySerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	serial, serialLog, serialTr := renderGray(t, 1, false)
+	if len(serial) == 0 || len(serialTr) == 0 {
+		t.Fatal("GraySweep rendered nothing")
+	}
+	for _, arm := range []string{"healthy+detect", "gray", "gray+crash", "gray+quarantine"} {
+		if !strings.Contains(serial, arm) {
+			t.Errorf("rendered figure missing arm %q:\n%s", arm, serial)
+		}
+	}
+	if !strings.Contains(serialTr, `"kind":"gray-fault"`) {
+		t.Error("merged trace has no gray-fault event")
+	}
+	if !strings.Contains(serialTr, `"kind":"health"`) {
+		t.Error("merged trace has no health transition event")
+	}
+	// Healthy arm: the scorer must convict nobody.
+	if !strings.Contains(serialLog, "healthy+detect   arrived") {
+		t.Fatalf("progress log missing healthy arm:\n%s", serialLog)
+	}
+	for _, line := range strings.Split(serialLog, "\n") {
+		if strings.Contains(line, "healthy+detect") && !strings.Contains(line, "fp=0") {
+			t.Errorf("healthy arm reported false positives: %s", line)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		par, parLog, parTr := renderGray(t, workers, false)
+		if par != serial {
+			t.Errorf("workers=%d: figure not byte-identical to serial\nserial:\n%s\nparallel:\n%s",
+				workers, serial, par)
+		}
+		if parLog != serialLog {
+			t.Errorf("workers=%d: progress log not byte-identical to serial", workers)
+		}
+		if parTr != serialTr {
+			t.Errorf("workers=%d: merged trace not byte-identical to serial (%d vs %d bytes)",
+				workers, len(serialTr), len(parTr))
+		}
+	}
+	// Byte-identical across reruns with the same seed.
+	again, _, againTr := renderGray(t, 4, false)
+	if again != serial || againTr != serialTr {
+		t.Error("rerun with identical seeds differs")
+	}
+}
+
+func TestGoldenGrayFastForwardDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	on, onLog, _ := renderGray(t, 1, false)
+	off, offLog, _ := renderGray(t, 1, true)
+	if on != off {
+		t.Errorf("fast-forward changed the gray figure:\non:\n%s\noff:\n%s", on, off)
+	}
+	if onLog != offLog {
+		t.Errorf("fast-forward changed the gray log:\non:\n%s\noff:\n%s", onLog, offLog)
+	}
+}
+
+func TestGrayRejectsBadSpec(t *testing.T) {
+	o := tiny()
+	o.GrayFaults = "noc=1.5"
+	if _, err := o.GraySweep(); err == nil {
+		t.Fatal("GraySweep accepted a malformed gray spec")
+	}
+	o.GrayFaults = "bogus=1"
+	if _, err := o.GraySweep(); err == nil {
+		t.Fatal("GraySweep accepted an unknown gray key")
+	}
+}

@@ -1,10 +1,10 @@
 package fault
 
-// Fuzzing for the ParseSpec grammar (ISSUE 7 satellite). The committed seed
-// corpus under testdata/fuzz/FuzzParseSpec covers every accepted field,
-// both error classes (bad value, unknown key), and whitespace/empty-token
-// shapes; `go test -fuzz=FuzzParseSpec ./internal/fault` explores from
-// there.
+// Fuzzing for the ParseSpec and ParseGraySpec grammars (ISSUE 7 / ISSUE 10
+// satellites). The committed seed corpora under testdata/fuzz/ cover every
+// accepted field, both error classes (bad value, unknown key), and
+// whitespace/empty-token shapes; `go test -fuzz=FuzzParseSpec` or
+// `-fuzz=FuzzParseGraySpec` explores from there.
 
 import (
 	"strings"
@@ -55,6 +55,67 @@ func FuzzParseSpec(f *testing.F) {
 		}
 		if back != spec {
 			t.Fatalf("ParseSpec(%q) round-trip mismatch: %+v -> %q -> %+v", s, spec, spec.String(), back)
+		}
+	})
+}
+
+// FuzzParseGraySpec asserts ParseGraySpec never panics, that accepted specs
+// are in-range (no NaN smuggled past the probability/fraction guards, no
+// negative counts), and that every rejection restates the grammar. Accepted
+// non-empty specs round-trip through String; specs with no victims render
+// as "none" by design, so only the Empty property round-trips for them.
+func FuzzParseGraySpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"gpus=1",
+		"gpus=2,sm=3,hbm=1,noc=0.005,window=0.25",
+		" gpus = 1 , sm = 0 ",
+		"gpus=1,,hbm=2",
+		"gpus=-1",
+		"sm=1.5",
+		"noc=1",
+		"noc=NaN",
+		"window=0",
+		"window=NaN",
+		"banana=7",
+		"gpus",
+		"gpus=",
+		"=3",
+		"gpus=9999999999999999999999",
+		"gpus=1,gpus=2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseGraySpec(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "grammar:") {
+				t.Fatalf("ParseGraySpec(%q) error %q does not restate the grammar", s, err)
+			}
+			return
+		}
+		if spec.GPUs < 0 || spec.SMStep < 0 || spec.HBMStep < 0 {
+			t.Fatalf("ParseGraySpec(%q) accepted negative count: %+v", s, spec)
+		}
+		if spec.NoCDrop != spec.NoCDrop || spec.NoCDrop < 0 || spec.NoCDrop >= 1 {
+			t.Fatalf("ParseGraySpec(%q) accepted out-of-range drop probability: %+v", s, spec)
+		}
+		if spec.Window != spec.Window || spec.Window < 0 || spec.Window > 1 {
+			t.Fatalf("ParseGraySpec(%q) accepted out-of-range window: %+v", s, spec)
+		}
+		back, err := ParseGraySpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseGraySpec(%q).String()=%q does not re-parse: %v", s, spec.String(), err)
+		}
+		if spec.Empty() {
+			if !back.Empty() {
+				t.Fatalf("ParseGraySpec(%q): empty spec round-tripped non-empty: %+v", s, back)
+			}
+			return
+		}
+		if back != spec {
+			t.Fatalf("ParseGraySpec(%q) round-trip mismatch: %+v -> %q -> %+v", s, spec, spec.String(), back)
 		}
 	})
 }

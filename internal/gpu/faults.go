@@ -223,6 +223,38 @@ func (g *GPU) FaultStats() FaultTotals { return g.faultStats }
 // injection is disabled).
 func (g *GPU) InjectorCounts() fault.Counts { return g.inj.Counts() }
 
+// SetNoCDropP replaces the per-message NoC drop probability (gray-failure
+// degradation windows elevate it at epoch boundaries and restore 0 after).
+// A GPU built without a fault spec gets an empty injector on first use —
+// its drop stream is seeded exactly like a spec-built one, so a window's
+// drop sequence depends only on the seed and the messages sent while
+// elevated, never on whether other fault kinds were configured. With p = 0
+// the wired hook answers false without consuming the stream, so an
+// un-elevated GPU stays byte-identical to one that never had the hook.
+func (g *GPU) SetNoCDropP(p float64) {
+	if g.inj == nil {
+		seed := g.opt.FaultSeed
+		if seed == 0 {
+			seed = g.cfg.Seed
+		}
+		g.inj = fault.NewInjector(seed, fault.Spec{}, fault.Geometry{
+			NumSMs:        g.cfg.NumSMs,
+			NumGroups:     g.cfg.ChannelGroups(),
+			NumChannels:   g.cfg.NumChannels(),
+			BankGroups:    g.cfg.BankGroups,
+			BanksPerGroup: g.cfg.BanksPerGroup,
+			Horizon:       uint64(g.cfg.MaxCycles),
+		})
+		g.inj.Trace = g.tr
+	}
+	g.inj.SetDropP(p)
+	if p > 0 && g.reqNet.Drop == nil {
+		drop := func(src, dst int) bool { return g.inj.DropMessage() }
+		g.reqNet.Drop = drop
+		g.rspNet.Drop = drop
+	}
+}
+
 // FirstFaultCycle reports when the first discrete fault struck (0 = none).
 func (g *GPU) FirstFaultCycle() uint64 { return g.firstFaultCycle }
 

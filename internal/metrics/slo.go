@@ -191,6 +191,35 @@ type SLOReport struct {
 	// checkpoints by crashes.
 	LostWork float64
 
+	// Gray-failure fields (ISSUE 10; zero unless the cluster ran with gray
+	// injection or health scoring).
+
+	// GrayFaults is the number of injected degradation windows.
+	GrayFaults int
+	// GrayDetected counts windows the health scorer flagged (healthy →
+	// suspect inside the window, plus a short grace); GrayMissed counts
+	// windows it never flagged (false negatives); GrayFalsePositives counts
+	// suspicions with no overlapping window.
+	GrayDetected       int
+	GrayFalsePositives int
+	GrayMissed         int
+	// GrayDetectEpochs is the mean epochs from window start to suspicion
+	// over detected windows (0 when none were detected).
+	GrayDetectEpochs float64
+	// QuarantinedGPUCycles is GPU-cycles spent alive but quarantined or
+	// probing — unavailable to latency-critical work without being down.
+	QuarantinedGPUCycles uint64
+	// GraySavedWork is the alone-cycles of live tenant progress the
+	// proactive quarantine drain preserved beyond the last checkpoint —
+	// exactly what a crash-style response would have rolled back.
+	GraySavedWork float64
+	// LCAvailability is the fraction of GPU-cycles usable by
+	// latency-critical work: alive and not quarantined. At most
+	// Availability, with equality when nothing was ever quarantined —
+	// a quarantined GPU is degraded capacity, not an outage, and only this
+	// field (never Availability) accounts it.
+	LCAvailability float64
+
 	// StateDigest is the final link of the run's state digest chain
 	// (ISSUE 9), 0 when digesting was disabled. Two runs of the same
 	// workload in different execution modes must report the same value;
@@ -213,8 +242,19 @@ type CrashOutcome struct {
 type FailoverStats struct {
 	GPUs           int            // cluster size
 	Crashes        []CrashOutcome // whole-GPU losses, in crash order
-	AliveGPUCycles uint64         // sum over GPUs of cycles spent healthy
+	AliveGPUCycles uint64         // sum over GPUs of cycles spent alive
 	LostWork       float64        // alone-cycles rolled back to checkpoints
+
+	// Gray-failure inputs (ISSUE 10); see the SLOReport fields of the same
+	// names. QuarantinedGPUCycles must count only alive quarantined time —
+	// a quarantine interval cut short by a real crash ends at the crash.
+	GrayFaults           int
+	GrayDetected         int
+	GrayFalsePositives   int
+	GrayMissed           int
+	GrayDetectEpochs     float64
+	QuarantinedGPUCycles uint64
+	GraySavedWork        float64
 }
 
 // BuildSLOReport folds job outcomes into a report. horizon is the cycle
@@ -282,6 +322,7 @@ func BuildSLOReport(jobs []JobOutcome, spec SLOSpec, horizon int, failover ...Fa
 		r.LCGoodput = float64(lcGoodCycles) / float64(horizon)
 	}
 	r.Availability = 1
+	r.LCAvailability = 1
 	if len(failover) > 0 {
 		foldFailover(&r, failover[0], horizon)
 	}
@@ -294,6 +335,13 @@ func BuildSLOReport(jobs []JobOutcome, spec SLOSpec, horizon int, failover ...Fa
 func foldFailover(r *SLOReport, fo FailoverStats, horizon int) {
 	r.Crashes = len(fo.Crashes)
 	r.LostWork = fo.LostWork
+	r.GrayFaults = fo.GrayFaults
+	r.GrayDetected = fo.GrayDetected
+	r.GrayFalsePositives = fo.GrayFalsePositives
+	r.GrayMissed = fo.GrayMissed
+	r.GrayDetectEpochs = fo.GrayDetectEpochs
+	r.QuarantinedGPUCycles = fo.QuarantinedGPUCycles
+	r.GraySavedWork = fo.GraySavedWork
 	if fo.GPUs > 0 && horizon > 0 {
 		av := float64(fo.AliveGPUCycles) / (float64(fo.GPUs) * float64(horizon))
 		if av < 0 {
@@ -303,6 +351,20 @@ func foldFailover(r *SLOReport, fo FailoverStats, horizon int) {
 			av = 1
 		}
 		r.Availability = av
+		// Quarantined-but-alive time is unavailable to LC work only; clamp
+		// against inconsistent inputs (quarantine reported past a crash).
+		lcAlive := float64(fo.AliveGPUCycles) - float64(fo.QuarantinedGPUCycles)
+		if lcAlive < 0 {
+			lcAlive = 0
+		}
+		lav := lcAlive / (float64(fo.GPUs) * float64(horizon))
+		if lav > av {
+			lav = av
+		}
+		if lav < 0 {
+			lav = 0
+		}
+		r.LCAvailability = lav
 	}
 	if len(fo.Crashes) == 0 {
 		return

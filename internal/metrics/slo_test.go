@@ -292,3 +292,82 @@ func TestBuildSLOReportFailoverAllGPUsDead(t *testing.T) {
 		t.Fatalf("availability not clamped: %g", r.Availability)
 	}
 }
+
+// TestBuildSLOReportGrayZeroFaults: with no gray faults and no quarantine,
+// the gray fields are all zero and the LC availability degenerates to the
+// crash availability — quarantined-but-alive and crashed are distinguishable
+// only when quarantine actually happened.
+func TestBuildSLOReportGrayZeroFaults(t *testing.T) {
+	fo := FailoverStats{GPUs: 4, AliveGPUCycles: 4 * 10_000}
+	r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo)
+	if r.GrayFaults != 0 || r.GrayDetected != 0 || r.GrayFalsePositives != 0 ||
+		r.GrayMissed != 0 || r.GrayDetectEpochs != 0 || r.GraySavedWork != 0 {
+		t.Fatalf("zero-gray fields wrong: %+v", r)
+	}
+	if r.LCAvailability != r.Availability || r.LCAvailability != 1 {
+		t.Fatalf("LCAvailability = %g, Availability = %g, want both 1",
+			r.LCAvailability, r.Availability)
+	}
+	// No failover stats at all (single-GPU serve): both default to 1.
+	r = BuildSLOReport(nil, DefaultSLO(), 10_000)
+	if r.Availability != 1 || r.LCAvailability != 1 {
+		t.Fatalf("no-failover availabilities = %g/%g, want 1/1",
+			r.Availability, r.LCAvailability)
+	}
+}
+
+// TestBuildSLOReportGrayQuarantineAlive: a quarantined GPU is alive —
+// Availability ignores it, LCAvailability excludes it.
+func TestBuildSLOReportGrayQuarantineAlive(t *testing.T) {
+	fo := FailoverStats{
+		GPUs:                 4,
+		AliveGPUCycles:       4 * 10_000,
+		GrayFaults:           1,
+		GrayDetected:         1,
+		GrayDetectEpochs:     2.5,
+		QuarantinedGPUCycles: 6_000, // probed but never recovered: open to horizon
+		GraySavedWork:        321,
+	}
+	r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo)
+	if r.Availability != 1 {
+		t.Fatalf("availability = %g, want 1 (nothing crashed)", r.Availability)
+	}
+	if want := (4.0*10_000 - 6_000) / (4.0 * 10_000); r.LCAvailability != want {
+		t.Fatalf("LCAvailability = %g, want %g", r.LCAvailability, want)
+	}
+	if r.GrayDetected != 1 || r.GrayDetectEpochs != 2.5 || r.GraySavedWork != 321 {
+		t.Fatalf("gray fields not forwarded: %+v", r)
+	}
+}
+
+// TestBuildSLOReportGrayQuarantineOverlapsCrash: quarantine time plus crash
+// downtime on the same GPU must not push LC availability below zero or above
+// the crash availability, even with inconsistent inputs.
+func TestBuildSLOReportGrayQuarantineOverlapsCrash(t *testing.T) {
+	fo := FailoverStats{
+		GPUs:                 2,
+		Crashes:              []CrashOutcome{{Cycle: 5_000, GPU: 1, RecoveredAt: -1}},
+		AliveGPUCycles:       10_000 + 5_000,
+		GrayFaults:           1,
+		GrayDetected:         1,
+		QuarantinedGPUCycles: 3_000, // closed at the crash
+	}
+	r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo)
+	if want := 15_000.0 / 20_000.0; r.Availability != want {
+		t.Fatalf("availability = %g, want %g", r.Availability, want)
+	}
+	if want := 12_000.0 / 20_000.0; r.LCAvailability != want {
+		t.Fatalf("LCAvailability = %g, want %g", r.LCAvailability, want)
+	}
+	// Inconsistent input: more quarantine than alive time clamps to 0.
+	fo.QuarantinedGPUCycles = 1 << 40
+	if r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo); r.LCAvailability != 0 {
+		t.Fatalf("over-quarantined LCAvailability = %g, want clamp to 0", r.LCAvailability)
+	}
+	// LCAvailability never exceeds Availability.
+	fo.QuarantinedGPUCycles = 0
+	fo.AliveGPUCycles = 1 << 40
+	if r := BuildSLOReport(nil, DefaultSLO(), 10_000, fo); r.LCAvailability > r.Availability {
+		t.Fatalf("LCAvailability %g > Availability %g", r.LCAvailability, r.Availability)
+	}
+}

@@ -110,6 +110,14 @@ type Governor struct {
 	capDepth int
 	clamped  bool
 
+	// floorSM/floorCh are externally forced minimum state indices (gray
+	// degradation): every domain runs at least this many states below
+	// nominal until the floor is cleared. The governor's own efficiency and
+	// cap passes compose on top — they may slow a domain further, never
+	// bring it back above the floor.
+	floorSM int
+	floorCh int
+
 	desSM []int // scratch: per-domain desired state
 	desCh []int
 }
@@ -142,6 +150,24 @@ func (g *Governor) Clamped() bool { return g.clamped }
 
 // CapDepth is the number of cap-forced extra down-steps currently applied.
 func (g *Governor) CapDepth() int { return g.capDepth }
+
+// SetStateFloor forces minimum SM and HBM state indices on every domain
+// (gray-failure degradation; 0,0 clears). Floors persist across Step calls,
+// so governed GPUs stay degraded until the floor is lifted — without this
+// the efficiency pass would restore nominal states at the next boundary.
+// Values beyond the deepest configured state clamp there at application.
+func (g *Governor) SetStateFloor(sm, ch int) {
+	if sm < 0 {
+		sm = 0
+	}
+	if ch < 0 {
+		ch = 0
+	}
+	g.floorSM, g.floorCh = sm, ch
+}
+
+// StateFloor returns the forced minimum (SM, HBM) state indices in force.
+func (g *Governor) StateFloor() (sm, ch int) { return g.floorSM, g.floorCh }
 
 // maxDepth is the cap controller's travel: BE slices to both floors first,
 // then LC slices to both floors.
@@ -259,10 +285,18 @@ func (g *Governor) Step(cycle uint64, slices []Slice) {
 			}
 		}
 	}
+	floorSM := min(g.floorSM, maxSM)
+	floorCh := min(g.floorCh, maxCh)
 	for d, want := range g.desSM {
+		if want < floorSM {
+			want = floorSM
+		}
 		m.SetSMState(cycle, d, want)
 	}
 	for c, want := range g.desCh {
+		if want < floorCh {
+			want = floorCh
+		}
 		m.SetChannelState(cycle, c, want)
 	}
 }

@@ -271,3 +271,93 @@ func TestGovernorGenerationResetsHysteresis(t *testing.T) {
 		t.Errorf("recycled slot inherited old tenant's SM throttle: state %d", got)
 	}
 }
+
+// TestGovernorStateFloorApplied: a gray-degradation floor forces every
+// domain down to at least the floor index on the next step, persists across
+// later steps (the efficiency pass would otherwise restore compute-bound
+// domains to nominal), and clears back to governed behavior.
+func TestGovernorStateFloorApplied(t *testing.T) {
+	f := newGovFixture(t, Config{})
+	g := NewGovernor(f.m, 4, GovernorConfig{})
+	// Compute-bound slice: without a floor the governor keeps SMs at nominal.
+	s := Slice{Slot: 0, Gen: 1, MemDegree: 0.2, SMDomains: []int{0, 1}, Channels: []int{0}}
+	f.step(g, 5000, []Slice{s})
+	if got := f.m.SMState(0); got != 0 {
+		t.Fatalf("setup: compute-bound SM domain at state %d, want nominal", got)
+	}
+
+	g.SetStateFloor(3, 1)
+	if sm, ch := g.StateFloor(); sm != 3 || ch != 1 {
+		t.Fatalf("StateFloor = (%d,%d), want (3,1)", sm, ch)
+	}
+	for i := 0; i < 4; i++ {
+		f.step(g, 5000, []Slice{s})
+		for d := 0; d < f.m.NumSMDomains(); d++ {
+			if got := f.m.SMState(d); got < 3 {
+				t.Fatalf("step %d: SM domain %d at state %d, want >= floor 3", i, d, got)
+			}
+		}
+		for c := 0; c < f.m.NumChannels(); c++ {
+			if got := f.m.ChannelState(c); got < 1 {
+				t.Fatalf("step %d: channel %d at state %d, want >= floor 1", i, c, got)
+			}
+		}
+	}
+
+	// Clearing the floor lets the efficiency pass restore nominal.
+	g.SetStateFloor(0, 0)
+	for i := 0; i < 8; i++ {
+		f.step(g, 5000, []Slice{s})
+	}
+	if got := f.m.SMState(0); got != 0 {
+		t.Errorf("cleared floor: compute-bound SM domain stuck at state %d", got)
+	}
+}
+
+// TestGovernorStateFloorClamped: a floor deeper than the ladder clamps to
+// the deepest configured state instead of indexing out of range, and
+// negative floors are treated as zero.
+func TestGovernorStateFloorClamped(t *testing.T) {
+	f := newGovFixture(t, Config{})
+	g := NewGovernor(f.m, 4, GovernorConfig{})
+	maxSM := len(f.m.SMStates()) - 1
+	maxCh := len(f.m.HBMStates()) - 1
+	s := Slice{Slot: 0, Gen: 1, MemDegree: 1.0, SMDomains: []int{0}, Channels: []int{0}}
+
+	g.SetStateFloor(99, 99)
+	f.step(g, 5000, []Slice{s})
+	if got := f.m.SMState(0); got != maxSM {
+		t.Errorf("over-deep floor: SM state %d, want clamp to %d", got, maxSM)
+	}
+	if got := f.m.ChannelState(0); got != maxCh {
+		t.Errorf("over-deep floor: channel state %d, want clamp to %d", got, maxCh)
+	}
+
+	g.SetStateFloor(-5, -5)
+	if sm, ch := g.StateFloor(); sm != 0 || ch != 0 {
+		t.Errorf("negative floor stored as (%d,%d), want (0,0)", sm, ch)
+	}
+}
+
+// TestGovernorStateFloorComposesWithCap: with both a gray floor and a power
+// cap active, domains sit at least as deep as the floor, and the cap
+// controller keeps working on top of it (deeper is allowed, shallower not).
+func TestGovernorStateFloorComposesWithCap(t *testing.T) {
+	f := newGovFixture(t, Config{})
+	f.busy = 4
+	g := NewGovernor(f.m, 4, GovernorConfig{Cap: 50})
+	g.SetStateFloor(2, 1)
+	s := Slice{Slot: 0, Gen: 1, MemDegree: 1.0, SMDomains: []int{0}, Channels: []int{0}}
+	for i := 0; i < 12; i++ {
+		f.step(g, 5000, []Slice{s})
+		if got := f.m.SMState(0); got < 2 {
+			t.Fatalf("step %d: cap pass lifted SM above the gray floor: state %d", i, got)
+		}
+		if got := f.m.ChannelState(0); got < 1 {
+			t.Fatalf("step %d: cap pass lifted channel above the gray floor: state %d", i, got)
+		}
+	}
+	if g.CapDepth() == 0 {
+		t.Error("unsatisfiable cap never built depth with a floor in force")
+	}
+}

@@ -22,6 +22,8 @@ func jobDigest(js *jobState) digest.Hash {
 func (s *Server) appendStateDigest(h digest.Hash) digest.Hash {
 	h = h.Int(s.nextArr).Int(s.admitSeq).U64(s.served).Int(s.epochs).
 		Int(s.attaches).Int(s.detaches).Int(s.preemptions).Int(s.rejections)
+	h = h.Int(s.degSM).Int(s.degHBM).F64(s.degNoC).
+		Int(s.sig.Residents).F64(s.sig.Progress)
 	h = h.Int(len(s.lcQ))
 	for _, js := range s.lcQ {
 		h = h.U64(uint64(jobDigest(js)))

@@ -1,0 +1,174 @@
+package serve
+
+// Gray-failure support (ISSUE 10): the degradation hooks the cluster
+// frontend pulls to make a backend sick (SetDegrade), the per-epoch
+// observable the cluster health scorer reads (Health), and the proactive
+// LC drain a quarantined backend performs (EvictLC). Everything here is
+// epoch-boundary code driven serially by the frontend, so reports and
+// traces stay byte-identical at any stepping parallelism.
+
+import (
+	"ugpu/internal/gpu"
+	"ugpu/internal/trace"
+	"ugpu/internal/workload"
+)
+
+// HealthSignal is one backend's per-epoch health observable. The cluster
+// scorer compares Progress against the peer median; the remaining fields
+// are the corroborating signals (fault-event bursts, queue growth) and the
+// exculpatory one (operator-imposed power capping is not sickness).
+type HealthSignal struct {
+	// Residents is the number of tenants that executed in the last epoch.
+	Residents int
+	// Progress is the backend's normalized per-tenant progress rate:
+	// Residents x (measured instructions / alone-expected instructions)
+	// summed over the epoch's residents, clamped to [0, 1]. A healthy
+	// n-way-shared GPU scores near 1 regardless of n (an under-subscribed
+	// one exactly 1); a gray-degraded one falls with its issue rate. 0 when
+	// the backend ran no tenants (no signal).
+	Progress float64
+	// QueueDepth is the backend's class-queue population right now.
+	QueueDepth int
+	// FaultEvents is the cumulative count of probabilistic fault deliveries
+	// (NoC drops + migration NACKs); the scorer watches its per-epoch delta.
+	FaultEvents uint64
+	// CapDepth is the DVFS governor's cap-forced down-step depth: non-zero
+	// means the GPU is deliberately throttled to meet a power budget, which
+	// the scorer must not mistake for a gray failure.
+	CapDepth int
+}
+
+// Health returns the backend's current health signal. Residents and
+// Progress reflect the last completed epoch (captured at the boundary);
+// the queue, fault, and cap fields are read live — the frontend calls this
+// serially at its own boundary, so the values are deterministic.
+func (s *Server) Health() HealthSignal {
+	sig := s.sig
+	sig.QueueDepth = s.QueueDepth()
+	c := s.g.InjectorCounts()
+	sig.FaultEvents = c.NoCDrops + c.MigNACKs
+	if s.gov != nil {
+		sig.CapDepth = s.gov.CapDepth()
+	}
+	return sig
+}
+
+// captureHealthSignal folds the epoch's Residents/Progress observable from
+// the boundary's epoch stats, before completions detach. Each resident
+// contributes measured instructions against its alone-run expectation
+// (work/AloneCycles x epoch cycles), so the score is mix-independent: a
+// heterogeneous tenant set on a healthy GPU still sums to ~Residents x its
+// fair-share fraction, while a gray victim's numerator collapses with its
+// issue rate.
+//
+// Cold residents are excluded: a tenant admitted at the previous boundary
+// spends its first epoch demand-faulting its working set in, executing next
+// to nothing on a perfectly healthy GPU. Counting it would collapse the
+// score and convict the device for doing routine paging. Warm residents
+// carry the signal; a GPU with only cold tenants reports Residents 0 (no
+// signal), which the cluster scorer treats as a neutral epoch.
+//
+// The score is clamped at 1: an under-subscribed GPU whose residents run
+// faster than their fair share is not "healthier than healthy", and letting
+// it score ~Residents would inflate the peer median right when a recovered
+// GPU sits near-empty — making every loaded-but-healthy survivor look sick
+// by comparison.
+func (s *Server) captureHealthSignal(cycle int, stats []gpu.EpochStats) {
+	warmup := s.cfg.Sim.EpochCycles
+	var num, den float64
+	n := 0
+	for slot := 0; slot < len(stats); slot++ {
+		js := s.resident[slot]
+		if js == nil || stats[slot].Cycles == 0 || js.job.AloneCycles <= 0 {
+			continue
+		}
+		if cycle-js.admitAt <= warmup {
+			continue // cold: first epoch after admission
+		}
+		n++
+		num += float64(stats[slot].Instructions)
+		den += float64(js.work) / float64(js.job.AloneCycles) * float64(stats[slot].Cycles)
+	}
+	s.sig = HealthSignal{Residents: n}
+	if den > 0 {
+		s.sig.Progress = num / den * float64(n)
+		if s.sig.Progress > 1 {
+			s.sig.Progress = 1
+		}
+	}
+}
+
+// SetDegrade applies (or, with zero arguments, clears) gray degradation:
+// smFloor/hbmFloor force minimum P-state indices on every frequency domain
+// from the next governor step, and nocDrop elevates the per-message NoC
+// drop probability immediately. P-state floors need a power config to bite
+// (a nominal-only backend degrades through the NoC path alone); the floors
+// persist until cleared, surviving every governor efficiency pass.
+func (s *Server) SetDegrade(smFloor, hbmFloor int, nocDrop float64) {
+	s.degSM, s.degHBM, s.degNoC = smFloor, hbmFloor, nocDrop
+	if s.gov != nil {
+		s.gov.SetStateFloor(smFloor, hbmFloor)
+	}
+	s.g.SetNoCDropP(nocDrop)
+}
+
+// Degraded reports the degradation knobs currently in force.
+func (s *Server) Degraded() (smFloor, hbmFloor int, nocDrop float64) {
+	return s.degSM, s.degHBM, s.degNoC
+}
+
+// EvictLC removes every latency-critical job from this backend — resident
+// tenants through the ordinary two-phase detach (their progress stays
+// credited through the last boundary, nothing rolls back) and queued LC
+// jobs directly — and returns their live Resume values, residents in slot
+// order then the queue in order. Best-effort tenants stay. The frontend
+// calls this when it quarantines the backend; re-offering the resumes to
+// healthy peers completes the proactive drain.
+func (s *Server) EvictLC(cycle int) ([]Resume, error) {
+	var out []Resume
+	for slot := 0; slot < len(s.resident); slot++ {
+		js := s.resident[slot]
+		if js == nil || js.job.Class != workload.LatencyCritical {
+			continue
+		}
+		if err := s.g.BeginDetach(uint64(cycle), slot); err != nil {
+			return out, err
+		}
+		js.preempts++
+		s.preemptions++
+		s.g.Tracer().Emit(trace.KPreempt, uint64(cycle), int32(slot), int32(js.job.ID),
+			int64(js.preempts), 0, 0)
+		s.resident[slot] = nil
+		s.detaches++
+		js.slot = -1
+		out = append(out, resumeOf(js))
+	}
+	for _, js := range s.lcQ {
+		out = append(out, resumeOf(js))
+	}
+	s.lcQ = s.lcQ[:0]
+	return out, nil
+}
+
+// LCLoad counts latency-critical jobs on this backend, resident plus
+// queued (the cluster invariant: zero on quarantined/probing backends).
+func (s *Server) LCLoad() int {
+	n := len(s.lcQ)
+	for _, js := range s.resident {
+		if js != nil && js.job.Class == workload.LatencyCritical {
+			n++
+		}
+	}
+	return n
+}
+
+// resumeOf snapshots a job's live durable progress for a cross-GPU move.
+func resumeOf(js *jobState) Resume {
+	return Resume{
+		Job:      js.job,
+		Served:   js.served,
+		Work:     js.work,
+		Preempts: js.preempts,
+		Start:    js.start,
+	}
+}

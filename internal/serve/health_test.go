@@ -1,0 +1,227 @@
+package serve
+
+// Backend-side gray-failure tests (ISSUE 10): degradation persistence
+// through governor passes, the health observable, the proactive LC drain,
+// and the p=0 byte-identity of a wired-but-idle NoC drop hook.
+
+import (
+	"testing"
+
+	"ugpu/internal/power"
+	"ugpu/internal/workload"
+)
+
+// degradedConfig is backendConfig with the full DVFS ladder, so P-state
+// floors have states to bite on.
+func degradedConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := backendConfig(t)
+	cfg.Opt.Power = &power.Config{}
+	return cfg
+}
+
+// stepServed offers one LC job and steps n epochs, returning served work.
+func stepServed(t *testing.T, s *Server, n int) uint64 {
+	t.Helper()
+	job := workload.Job{ID: 1, Bench: mustBench(t, "DXTC"), Class: workload.LatencyCritical, Arrival: 0, AloneCycles: 200_000}
+	if !s.Offer(0, Resume{Job: job, Start: -1}, false) {
+		t.Fatal("offer refused")
+	}
+	epoch := uint64(s.cfg.Sim.EpochCycles)
+	for i := 0; i < n; i++ {
+		if err := s.StepEpoch(epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.Served()
+}
+
+// TestBackendSetDegradePersistsAndSlows: a gray P-state floor survives every
+// governor pass (the efficiency pass would restore a compute-bound tenant to
+// nominal), measurably slows the backend, and clears back to full speed.
+func TestBackendSetDegradePersistsAndSlows(t *testing.T) {
+	healthy, err := New(degradedConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := stepServed(t, healthy, 10)
+
+	sick, err := New(degradedConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sick.SetDegrade(3, 1, 0)
+	slow := stepServed(t, sick, 10)
+
+	if sm, hbm, noc := sick.Degraded(); sm != 3 || hbm != 1 || noc != 0 {
+		t.Errorf("Degraded() = (%d,%d,%g), want (3,1,0)", sm, hbm, noc)
+	}
+	if gov := sick.Governor(); gov == nil {
+		t.Fatal("degraded backend never built a governor")
+	} else if sm, ch := gov.StateFloor(); sm != 3 || ch != 1 {
+		t.Errorf("governor floor = (%d,%d), want (3,1)", sm, ch)
+	}
+	if slow >= fast {
+		t.Errorf("degraded backend served %d >= healthy %d", slow, fast)
+	}
+
+	// Clearing restores full speed for a fresh identical run.
+	cured, err := New(degradedConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cured.SetDegrade(3, 1, 0)
+	cured.SetDegrade(0, 0, 0)
+	if got := stepServed(t, cured, 10); got != fast {
+		t.Errorf("cleared degradation served %d, healthy run served %d", got, fast)
+	}
+}
+
+// TestBackendHealthSignal: a healthy backend's Progress observable is
+// positive with the right resident count, and a gray-degraded twin scores
+// strictly lower — the contrast the cluster scorer convicts on.
+func TestBackendHealthSignal(t *testing.T) {
+	healthy, err := New(degradedConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepServed(t, healthy, 6)
+	hs := healthy.Health()
+	if hs.Residents != 1 {
+		t.Fatalf("healthy Residents = %d, want 1", hs.Residents)
+	}
+	if hs.Progress <= 0 {
+		t.Fatalf("healthy Progress = %g, want > 0", hs.Progress)
+	}
+
+	sick, err := New(degradedConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sick.SetDegrade(3, 1, 0)
+	stepServed(t, sick, 6)
+	ss := sick.Health()
+	if ss.Progress >= hs.Progress {
+		t.Errorf("degraded Progress %g >= healthy %g", ss.Progress, hs.Progress)
+	}
+
+	// An idle backend has no signal.
+	idle, err := New(degradedConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig := idle.Health(); sig.Residents != 0 || sig.Progress != 0 {
+		t.Errorf("idle backend signal = %+v, want zero", sig)
+	}
+}
+
+// TestBackendNoCDropCountsAndP0Identity: an elevated NoC drop probability
+// produces fault events in the health signal, and a hook wired at p=0 (a
+// degradation window applied and fully restored before any traffic) leaves
+// the run byte-identical to one where the hook was never wired.
+func TestBackendNoCDropCountsAndP0Identity(t *testing.T) {
+	dropped, err := New(backendConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped.SetDegrade(0, 0, 0.3)
+	stepServed(t, dropped, 8)
+	if got := dropped.Health().FaultEvents; got == 0 {
+		t.Error("30% NoC drop produced zero fault events")
+	}
+
+	plain, err := New(backendConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := stepServed(t, plain, 8)
+
+	wired, err := New(backendConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired.SetDegrade(0, 0, 0.3)
+	wired.SetDegrade(0, 0, 0)
+	if got := stepServed(t, wired, 8); got != base {
+		t.Errorf("hook wired at p=0 served %d, never-wired served %d (drop sampler consumed RNG at p=0)", got, base)
+	}
+	if got := wired.Health().FaultEvents; got != 0 {
+		t.Errorf("restored backend counted %d fault events, want 0", got)
+	}
+}
+
+// TestBackendEvictLC: the quarantine drain detaches resident LC tenants with
+// their live progress, empties the LC queue in order, and leaves best-effort
+// work running.
+func TestBackendEvictLC(t *testing.T) {
+	s, err := New(backendConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id int, class workload.QoS) Resume {
+		return Resume{
+			Job:   workload.Job{ID: id, Bench: mustBench(t, "DXTC"), Class: class, Arrival: 0, AloneCycles: 500_000},
+			Start: -1,
+		}
+	}
+	// Two LC jobs (first becomes resident, second queues behind it once
+	// admission saturates), one BE job.
+	for i, r := range []Resume{mk(10, workload.LatencyCritical), mk(11, workload.BestEffort), mk(12, workload.LatencyCritical), mk(13, workload.LatencyCritical)} {
+		if !s.Offer(0, r, false) {
+			t.Fatalf("offer %d refused", i)
+		}
+	}
+	epoch := uint64(s.cfg.Sim.EpochCycles)
+	for i := 0; i < 4; i++ {
+		if err := s.StepEpoch(epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lcBefore := s.LCLoad()
+	if lcBefore != 3 {
+		t.Fatalf("LCLoad = %d before drain, want 3", lcBefore)
+	}
+	loadBefore := s.Load()
+
+	resumes, err := s.EvictLC(int(epoch) * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumes) != 3 {
+		t.Fatalf("EvictLC returned %d resumes, want 3", len(resumes))
+	}
+	for _, r := range resumes {
+		if r.Job.Class != workload.LatencyCritical {
+			t.Errorf("evicted job %d is %v, want latency-critical", r.Job.ID, r.Job.Class)
+		}
+		if r.Work == 0 {
+			t.Errorf("evicted job %d has zero work", r.Job.ID)
+		}
+	}
+	// The resident tenant kept its live progress — nothing rolled back.
+	var served uint64
+	for _, r := range resumes {
+		served += r.Served
+	}
+	if served == 0 {
+		t.Error("no evicted resume carries live progress")
+	}
+	if got := s.LCLoad(); got != 0 {
+		t.Errorf("LCLoad = %d after drain, want 0", got)
+	}
+	if got := s.Load(); got != loadBefore-3 {
+		t.Errorf("Load = %d after drain, want %d (BE stays)", got, loadBefore-3)
+	}
+	// The backend keeps running its BE tenant.
+	if err := s.StepEpoch(epoch); err != nil {
+		t.Fatal(err)
+	}
+	// Draining an already-clean backend is a no-op.
+	again, err := s.EvictLC(int(epoch) * 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Errorf("second drain returned %d resumes, want 0", len(again))
+	}
+}

@@ -241,6 +241,13 @@ type Server struct {
 	preemptions int
 	rejections  int
 
+	// Gray-degradation knobs in force (health.go) and the last epoch's
+	// health observable.
+	degSM  int
+	degHBM int
+	degNoC float64
+	sig    HealthSignal
+
 	// doneQ is the drain queue of finished jobs for backend mode
 	// (TakeCompleted); unread in single-GPU serving.
 	doneQ []Completion
@@ -310,6 +317,7 @@ func (s *Server) Run() (*Report, error) {
 func (s *Server) boundary(cycle int) error {
 	stats := s.g.EndEpoch()
 	s.last = stats
+	s.captureHealthSignal(cycle, stats)
 
 	// Credit serving progress and collect completions, in slot order.
 	for slot := 0; slot < len(stats); slot++ {
@@ -405,6 +413,9 @@ func (s *Server) stepPower(cycle uint64) {
 	if s.gov == nil {
 		s.gov = power.NewGovernor(pm, gpu.MaxApps, power.GovernorConfig{Cap: s.cfg.PowerCap})
 	}
+	// Re-assert the gray-degradation floor every boundary: it covers the
+	// lazily created governor above and survives any cap/floor churn.
+	s.gov.SetStateFloor(s.degSM, s.degHBM)
 	bw := core.BandwidthFor(s.cfg.Sim)
 	var slices []power.Slice
 	for slot, js := range s.resident {

@@ -94,6 +94,9 @@ const (
 	// CatPower covers the power-management subsystem: DVFS state
 	// transitions, power-cap assignment, and cap clamping.
 	CatPower
+	// CatHealth covers gray-failure resilience: degradation windows, health
+	// state transitions, and quarantine drains.
+	CatHealth
 	numCategories
 )
 
@@ -116,6 +119,8 @@ func (c Category) String() string {
 		return "cluster"
 	case CatPower:
 		return "power"
+	case CatHealth:
+		return "health"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }
@@ -254,6 +259,19 @@ const (
 	// enter/exit), a1=old value, a2=new value (P-state index or watts).
 	KPower
 
+	// KGrayFault: a gray-degradation window opened or closed on a GPU.
+	// unit=GPU index, a0=1 applied / 0 cleared, a1=forced SM P-state floor,
+	// a2=NoC drop probability in parts per million.
+	KGrayFault
+	// KHealth: the cluster health scorer moved a GPU between states.
+	// unit=GPU index, a0=old state, a1=new state (clusterserve.HealthState
+	// numeric), a2=the epoch's progress-vs-peer-median score x1000.
+	KHealth
+	// KQuarantineDrain: quarantine proactively drained a GPU's
+	// latency-critical tenants. unit=GPU index, a0=jobs drained (resident +
+	// queued), a1=live alone-cycles preserved beyond the last checkpoint.
+	KQuarantineDrain
+
 	numKinds
 )
 
@@ -266,40 +284,43 @@ var kindInfo = [numKinds]struct {
 	cat  Category
 	sev  Severity
 }{
-	KEpochEnd:       {"epoch-end", CatEpoch, SevInfo},
-	KEpochDecide:    {"epoch-decide", CatEpoch, SevInfo},
-	KMigBegin:       {"mig-begin", CatMigration, SevDebug},
-	KMigNACK:        {"mig-nack", CatMigration, SevWarn},
-	KMigRetry:       {"mig-retry", CatMigration, SevWarn},
-	KMigCommit:      {"mig-commit", CatMigration, SevDebug},
-	KMigFail:        {"mig-fail", CatMigration, SevWarn},
-	KMigSpill:       {"mig-spill", CatMigration, SevWarn},
-	KMigEvacuate:    {"mig-evacuate", CatMigration, SevWarn},
-	KFaultInject:    {"fault-inject", CatFault, SevWarn},
-	KFaultRepair:    {"fault-repair", CatFault, SevInfo},
-	KNoCDrop:        {"noc-drop", CatFault, SevDebug},
-	KSMAssign:       {"sm-assign", CatLifecycle, SevDebug},
-	KSMRelease:      {"sm-release", CatLifecycle, SevDebug},
-	KSMFail:         {"sm-fail", CatLifecycle, SevWarn},
-	KSMDrain:        {"sm-drain", CatLifecycle, SevDebug},
-	KSMSwitch:       {"sm-switch", CatLifecycle, SevDebug},
-	KSetGroups:      {"set-groups", CatLifecycle, SevInfo},
-	KAttach:         {"tenant-attach", CatLifecycle, SevInfo},
-	KDetachBegin:    {"tenant-detach-begin", CatLifecycle, SevInfo},
-	KDetachDone:     {"tenant-detach-done", CatLifecycle, SevInfo},
-	KAdmit:          {"job-admit", CatAdmission, SevInfo},
-	KReject:         {"job-reject", CatAdmission, SevWarn},
-	KPreempt:        {"job-preempt", CatAdmission, SevWarn},
-	KJobDone:        {"job-done", CatAdmission, SevInfo},
-	KWatchdogWindow: {"watchdog-window", CatWatchdog, SevDebug},
-	KWatchdogStall:  {"watchdog-stall", CatWatchdog, SevError},
-	KFastForward:    {"fast-forward", CatWatchdog, SevDebug},
-	KGPUCrash:       {"gpu-crash", CatCluster, SevError},
-	KCheckpoint:     {"checkpoint", CatCluster, SevDebug},
-	KRedispatch:     {"redispatch", CatCluster, SevWarn},
-	KBrownout:       {"brownout", CatCluster, SevWarn},
-	KShed:           {"job-shed", CatCluster, SevWarn},
-	KPower:          {"power", CatPower, SevInfo},
+	KEpochEnd:        {"epoch-end", CatEpoch, SevInfo},
+	KEpochDecide:     {"epoch-decide", CatEpoch, SevInfo},
+	KMigBegin:        {"mig-begin", CatMigration, SevDebug},
+	KMigNACK:         {"mig-nack", CatMigration, SevWarn},
+	KMigRetry:        {"mig-retry", CatMigration, SevWarn},
+	KMigCommit:       {"mig-commit", CatMigration, SevDebug},
+	KMigFail:         {"mig-fail", CatMigration, SevWarn},
+	KMigSpill:        {"mig-spill", CatMigration, SevWarn},
+	KMigEvacuate:     {"mig-evacuate", CatMigration, SevWarn},
+	KFaultInject:     {"fault-inject", CatFault, SevWarn},
+	KFaultRepair:     {"fault-repair", CatFault, SevInfo},
+	KNoCDrop:         {"noc-drop", CatFault, SevDebug},
+	KSMAssign:        {"sm-assign", CatLifecycle, SevDebug},
+	KSMRelease:       {"sm-release", CatLifecycle, SevDebug},
+	KSMFail:          {"sm-fail", CatLifecycle, SevWarn},
+	KSMDrain:         {"sm-drain", CatLifecycle, SevDebug},
+	KSMSwitch:        {"sm-switch", CatLifecycle, SevDebug},
+	KSetGroups:       {"set-groups", CatLifecycle, SevInfo},
+	KAttach:          {"tenant-attach", CatLifecycle, SevInfo},
+	KDetachBegin:     {"tenant-detach-begin", CatLifecycle, SevInfo},
+	KDetachDone:      {"tenant-detach-done", CatLifecycle, SevInfo},
+	KAdmit:           {"job-admit", CatAdmission, SevInfo},
+	KReject:          {"job-reject", CatAdmission, SevWarn},
+	KPreempt:         {"job-preempt", CatAdmission, SevWarn},
+	KJobDone:         {"job-done", CatAdmission, SevInfo},
+	KWatchdogWindow:  {"watchdog-window", CatWatchdog, SevDebug},
+	KWatchdogStall:   {"watchdog-stall", CatWatchdog, SevError},
+	KFastForward:     {"fast-forward", CatWatchdog, SevDebug},
+	KGPUCrash:        {"gpu-crash", CatCluster, SevError},
+	KCheckpoint:      {"checkpoint", CatCluster, SevDebug},
+	KRedispatch:      {"redispatch", CatCluster, SevWarn},
+	KBrownout:        {"brownout", CatCluster, SevWarn},
+	KShed:            {"job-shed", CatCluster, SevWarn},
+	KPower:           {"power", CatPower, SevInfo},
+	KGrayFault:       {"gray-fault", CatHealth, SevWarn},
+	KHealth:          {"health", CatHealth, SevWarn},
+	KQuarantineDrain: {"quarantine-drain", CatHealth, SevWarn},
 }
 
 // String returns the kind's short hyphenated name.

@@ -337,6 +337,40 @@ func NewClusterFrontend(cfg ClusterServeConfig) (*ClusterFrontend, error) {
 // victims, at least one survivor.
 var PlanGPUCrashes = fault.PlanGPUCrashes
 
+// Gray-failure resilience (extension, see DESIGN.md "Gray failures &
+// quarantine"): seeded degraded-GPU injection (a victim runs slow without
+// dying), a peer-median health scorer with hysteresis, and a quarantine
+// state machine that drains latency-critical work with live progress.
+// Enable injection with ClusterServeConfig.Gray (or an explicit GrayPlan)
+// and detection with ClusterServeConfig.Health.
+
+// GraySpec describes how many GPUs to gray-degrade and how hard (P-state
+// floors, NoC drop, window fraction). The zero GraySpec injects nothing.
+type GraySpec = fault.GraySpec
+
+// GrayFault is one planned degradation window on one GPU.
+type GrayFault = fault.GrayFault
+
+// ParseGraySpec parses a "gpus=1,sm=3,noc=0.005,window=0.25" gray-fault
+// spec; every error restates the accepted grammar.
+var ParseGraySpec = fault.ParseGraySpec
+
+// PlanGrayFaults builds the seeded gray-degradation schedule used by the
+// gray experiment: windows in the middle 60% of the horizon, distinct
+// victims, at least one fully healthy GPU.
+var PlanGrayFaults = fault.PlanGrayFaults
+
+// HealthConfig tunes the cluster health scorer and quarantine state machine
+// (zero fields take defaults).
+type HealthConfig = clusterserve.HealthConfig
+
+// HealthState is one backend's position in the quarantine state machine
+// (healthy, suspect, quarantined, probing).
+type HealthState = clusterserve.HealthState
+
+// HealthTransition is one recorded health state-machine move.
+type HealthTransition = clusterserve.HealthTransition
+
 // ShedReason explains why the cluster frontend dropped a job (brownout,
 // circuit-break, retry exhaustion).
 type ShedReason = metrics.ShedReason
